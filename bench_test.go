@@ -1,0 +1,180 @@
+// Benchmarks regenerating the paper's evaluation (§5): one benchmark per
+// figure, each producing the full table once per iteration through
+// internal/bench (run `go run ./cmd/benchrunner -fig all` to see the
+// printed tables), plus micro-benchmarks for the load-bearing substrates.
+package partminer
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"partminer/internal/adimine"
+	"partminer/internal/bench"
+	"partminer/internal/core"
+	"partminer/internal/datagen"
+	"partminer/internal/dfscode"
+	"partminer/internal/fsg"
+	"partminer/internal/gaston"
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+	"partminer/internal/isomorph"
+)
+
+// smallScale keeps the per-iteration figure sweeps affordable under
+// `go test -bench`; cmd/benchrunner uses the larger default scale.
+var smallScale = bench.Scale{D50k: 200, D100k: 250, MaxEdges: 4}
+
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure(name, smallScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			t.Fprint(io.Discard)
+		}
+	}
+}
+
+// Figure 13(a): partitioning criteria on static data.
+func BenchmarkFig13aPartitionCriteriaStatic(b *testing.B) { benchFigure(b, "13a") }
+
+// Figure 13(b): partitioning criteria under updates.
+func BenchmarkFig13bPartitionCriteriaDynamic(b *testing.B) { benchFigure(b, "13b") }
+
+// Figure 14(a): runtime vs minimum support, static.
+func BenchmarkFig14aMinSupStatic(b *testing.B) { benchFigure(b, "14a") }
+
+// Figure 14(b): runtime vs minimum support, dynamic.
+func BenchmarkFig14bMinSupDynamic(b *testing.B) { benchFigure(b, "14b") }
+
+// Figure 15(a): number of units k, static.
+func BenchmarkFig15aUnitsStatic(b *testing.B) { benchFigure(b, "15a") }
+
+// Figure 15(b): number of units k, dynamic.
+func BenchmarkFig15bUnitsDynamic(b *testing.B) { benchFigure(b, "15b") }
+
+// Figure 16(a): scalability in T.
+func BenchmarkFig16aVaryT(b *testing.B) { benchFigure(b, "16a") }
+
+// Figure 16(b): scalability in D.
+func BenchmarkFig16bVaryD(b *testing.B) { benchFigure(b, "16b") }
+
+// Figure 17(a): relabeling updates.
+func BenchmarkFig17aRelabelUpdates(b *testing.B) { benchFigure(b, "17a") }
+
+// Figure 17(b): structural updates.
+func BenchmarkFig17bStructuralUpdates(b *testing.B) { benchFigure(b, "17b") }
+
+// Ablation: extension-based vs strict-paper merge-join.
+func BenchmarkAblationJoinStrictPaper(b *testing.B) { benchFigure(b, "ablation-join") }
+
+// Ablation: Gaston vs gSpan as the unit miner.
+func BenchmarkAblationUnitMiner(b *testing.B) { benchFigure(b, "ablation-miner") }
+
+// ---- substrate micro-benchmarks ----
+
+func benchDB(n int) graph.Database {
+	return datagen.Generate(datagen.Config{D: n, T: 20, N: 20, L: 200, I: 5, Seed: 7})
+}
+
+func BenchmarkMinDFSCode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := make([]*graph.Graph, 64)
+	for i := range graphs {
+		graphs[i] = graph.RandomConnected(rng, i, 8, 12, 4, 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dfscode.MinCode(graphs[i%len(graphs)]) == nil {
+			b.Fatal("nil code")
+		}
+	}
+}
+
+func BenchmarkSubgraphIsomorphism(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	target := graph.RandomConnected(rng, 0, 20, 30, 4, 3)
+	pat := graph.RandomConnected(rng, 1, 4, 4, 4, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		isomorph.Contains(target, pat)
+	}
+}
+
+func BenchmarkGSpanMine(b *testing.B) {
+	db := benchDB(200)
+	sup := core.AbsoluteSupport(db, 0.04)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gspan.Mine(db, gspan.Options{MinSupport: sup})
+	}
+}
+
+func BenchmarkGastonMine(b *testing.B) {
+	db := benchDB(200)
+	sup := core.AbsoluteSupport(db, 0.04)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gaston.Mine(db, gaston.Options{MinSupport: sup})
+	}
+}
+
+func BenchmarkFSGMine(b *testing.B) {
+	db := benchDB(200)
+	sup := core.AbsoluteSupport(db, 0.04)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fsg.Mine(db, fsg.Options{MinSupport: sup})
+	}
+}
+
+func BenchmarkGastonFreeTreeMine(b *testing.B) {
+	db := benchDB(200)
+	sup := core.AbsoluteSupport(db, 0.04)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gaston.Mine(db, gaston.Options{MinSupport: sup, Engine: gaston.EngineFreeTree})
+	}
+}
+
+func BenchmarkADIMine(b *testing.B) {
+	db := benchDB(200)
+	sup := core.AbsoluteSupport(db, 0.04)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adimine.Mine(db, adimine.Options{MinSupport: sup}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartMinerK2(b *testing.B) {
+	db := benchDB(200)
+	sup := core.AbsoluteSupport(db, 0.04)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PartMiner(db, core.Options{MinSupport: sup, K: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncPartMiner(b *testing.B) {
+	db := benchDB(200)
+	sup := core.AbsoluteSupport(db, 0.04)
+	prev, err := core.PartMiner(db, core.Options{MinSupport: sup, K: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newDB := db.Clone()
+	updated := datagen.ApplyUpdates(newDB, datagen.UpdateConfig{Fraction: 0.4, Seed: 3, N: 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IncPartMiner(newDB, updated, prev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

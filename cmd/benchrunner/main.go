@@ -1,0 +1,41 @@
+// Command benchrunner regenerates the paper's evaluation figures (§5) as
+// printed tables. Each figure sweeps the same parameter axis as the paper
+// on a scaled-down dataset; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	benchrunner -fig 14a            # one figure
+//	benchrunner -fig all            # every figure and ablation
+//	benchrunner -fig 16b -d50k 1200 # larger scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partminer/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (13a 13b 14a 14b 15a 15b 16a 16b 17a 17b ablation-join ablation-miner, or 'all')")
+	d50k := flag.Int("d50k", bench.DefaultScale.D50k, "graphs standing in for the paper's 50k-graph datasets")
+	d100k := flag.Int("d100k", bench.DefaultScale.D100k, "graphs standing in for the paper's 100k-graph datasets")
+	maxEdges := flag.Int("maxedges", 0, "bound pattern size (0 = unbounded, the paper's setting); set when shrinking the scale far below the defaults")
+	flag.Parse()
+
+	scale := bench.Scale{D50k: *d50k, D100k: *d100k, MaxEdges: *maxEdges}
+	names := []string{*fig}
+	if *fig == "all" {
+		names = bench.Figures()
+	}
+	for _, name := range names {
+		t, err := bench.Figure(name, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		t.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,97 @@
+// Command datagen generates a synthetic graph database (and optionally an
+// update stream) with the paper's Table 1 parameters, writing the
+// gSpan-style text format to stdout or a file.
+//
+// Usage:
+//
+//	datagen -d 1000 -t 20 -n 20 -l 200 -i 5 -seed 1 > db.txt
+//	datagen -d 1000 -update 0.4 -kinds relabel -o updated.txt db.txt
+//
+// With -update, the tool reads an existing database (the positional
+// argument, or stdin), applies the update round, writes the updated
+// database, and prints the updated graph ids on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partminer/internal/datagen"
+	"partminer/internal/graph"
+)
+
+func main() {
+	d := flag.Int("d", 1000, "number of graphs (D)")
+	t := flag.Int("t", 20, "average edges per graph (T)")
+	n := flag.Int("n", 20, "number of labels (N)")
+	l := flag.Int("l", 200, "number of potentially frequent kernels (L)")
+	i := flag.Int("i", 5, "average kernel edges (I)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	update := flag.Float64("update", 0, "apply an update round to an existing database: fraction of graphs to update (0 disables)")
+	kinds := flag.String("kinds", "", "comma-separated update kinds: relabel,add-edge,add-vertex (default all)")
+	ops := flag.Int("ops", 2, "update operations per updated graph")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *update > 0 {
+		in := os.Stdin
+		if flag.NArg() > 0 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		db, err := graph.ReadDatabase(in)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := datagen.UpdateConfig{Fraction: *update, Seed: *seed, N: *n, OpsPerGraph: *ops}
+		if *kinds != "" {
+			for _, k := range strings.Split(*kinds, ",") {
+				switch strings.TrimSpace(k) {
+				case "relabel":
+					cfg.Kinds = append(cfg.Kinds, datagen.Relabel)
+				case "add-edge":
+					cfg.Kinds = append(cfg.Kinds, datagen.AddEdge)
+				case "add-vertex":
+					cfg.Kinds = append(cfg.Kinds, datagen.AddVertex)
+				case "remove-edge":
+					cfg.Kinds = append(cfg.Kinds, datagen.RemoveEdge)
+				default:
+					fatal(fmt.Errorf("unknown update kind %q", k))
+				}
+			}
+		}
+		updated := datagen.ApplyUpdates(db, cfg)
+		if err := graph.WriteDatabase(w, db); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "updated %d graphs: %v\n", len(updated), updated)
+		return
+	}
+
+	cfg := datagen.Config{D: *d, T: *t, N: *n, L: *l, I: *i, Seed: *seed}
+	fmt.Fprintf(os.Stderr, "generating %s (seed %d)\n", cfg.Name(), *seed)
+	if err := graph.WriteDatabase(w, datagen.Generate(cfg)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

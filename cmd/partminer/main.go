@@ -1,0 +1,253 @@
+// Command partminer mines the frequent subgraphs of a graph database in
+// the gSpan-style text format, using the paper's partition-based
+// algorithm. With -updated it runs IncPartMiner instead: it mines the
+// original database, applies the updated database, and reports the
+// UF/FI/IF pattern classification.
+//
+// Usage:
+//
+//	partminer -minsup 0.04 -k 4 db.txt
+//	partminer -minsup 0.04 -k 4 -updated db2.txt -changed 3,17,42 db.txt
+//	partminer -minsup 0.04 -miner adimine db.txt     # disk-based baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"partminer/internal/adimine"
+	"partminer/internal/core"
+	"partminer/internal/fsg"
+	"partminer/internal/gaston"
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+	"partminer/internal/partition"
+	"partminer/internal/pattern"
+)
+
+func main() {
+	minsup := flag.Float64("minsup", 0.04, "minimum support as a fraction of the database (0.04 = 4%), or an absolute count when >= 1")
+	k := flag.Int("k", 2, "number of units")
+	maxEdges := flag.Int("maxedges", 0, "bound on pattern size (0 = unbounded)")
+	parallel := flag.Bool("parallel", false, "mine units in parallel")
+	criteria := flag.String("criteria", "partition3", "partitioning criteria: partition1, partition2, partition3, metis")
+	miner := flag.String("miner", "partminer", "algorithm: partminer, gspan, gaston, freetree, fsg, adimine")
+	updatedPath := flag.String("updated", "", "updated database for incremental mining")
+	changed := flag.String("changed", "", "comma-separated ids of updated graphs (with -updated)")
+	showAll := flag.Bool("patterns", false, "print every pattern, not just the summary")
+	savePath := flag.String("save", "", "save the mining result for later incremental runs")
+	resumePath := flag.String("resume", "", "resume from a saved result instead of mining from scratch")
+	condense := flag.String("condense", "", "report only 'closed' or 'maximal' patterns (post-mining condensation)")
+	flag.Parse()
+
+	db := readDB(flag.Arg(0))
+	sup := absSupport(db, *minsup)
+	fmt.Fprintf(os.Stderr, "%d graphs, minimum support %d\n", len(db), sup)
+
+	var bis partition.Bisector
+	switch *criteria {
+	case "partition1":
+		bis = partition.Partition1
+	case "partition2":
+		bis = partition.Partition2
+	case "partition3":
+		bis = partition.Partition3
+	case "metis":
+		bis = partition.Metis{}
+	default:
+		fatal(fmt.Errorf("unknown criteria %q", *criteria))
+	}
+
+	switch *miner {
+	case "gspan":
+		start := time.Now()
+		set := gspan.Mine(db, gspan.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		report(condenseSet(set, *condense), time.Since(start), *showAll)
+		return
+	case "gaston":
+		start := time.Now()
+		set := gaston.Mine(db, gaston.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		report(condenseSet(set, *condense), time.Since(start), *showAll)
+		return
+	case "freetree":
+		start := time.Now()
+		set := gaston.Mine(db, gaston.Options{MinSupport: sup, MaxEdges: *maxEdges, Engine: gaston.EngineFreeTree})
+		report(condenseSet(set, *condense), time.Since(start), *showAll)
+		return
+	case "fsg":
+		start := time.Now()
+		set := fsg.Mine(db, fsg.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		report(condenseSet(set, *condense), time.Since(start), *showAll)
+		return
+	case "adimine":
+		start := time.Now()
+		set, err := adimine.Mine(db, adimine.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		if err != nil {
+			fatal(err)
+		}
+		report(condenseSet(set, *condense), time.Since(start), *showAll)
+		return
+	case "partminer":
+	default:
+		fatal(fmt.Errorf("unknown miner %q", *miner))
+	}
+
+	opts := core.Options{MinSupport: sup, K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Bisector: bis}
+	start := time.Now()
+	var res *core.Result
+	var err error
+	if *resumePath != "" {
+		f, ferr := os.Open(*resumePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		res, err = core.LoadResult(f, db)
+		f.Close()
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "resumed %d patterns from %s\n", len(res.Patterns), *resumePath)
+		}
+	} else {
+		res, err = core.PartMiner(db, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *savePath != "" && *updatedPath == "" {
+		f, ferr := os.Create(*savePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := core.SaveResult(f, res); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "saved result to %s\n", *savePath)
+	}
+
+	if *updatedPath == "" {
+		report(condenseSet(res.Patterns, *condense), elapsed, *showAll)
+		fmt.Fprintf(os.Stderr, "phase times: partition %v, units %v, merge %v\n",
+			res.PartitionTime, res.UnitTimes, res.MergeTime)
+		return
+	}
+
+	newDB := readDB(*updatedPath)
+	var tids []int
+	if *changed != "" {
+		for _, s := range strings.Split(*changed, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad -changed entry %q: %v", s, err))
+			}
+			tids = append(tids, id)
+		}
+	} else {
+		// Derive the changed set by structural comparison.
+		if len(newDB) != len(db) {
+			fatal(fmt.Errorf("updated database has %d graphs; original %d", len(newDB), len(db)))
+		}
+		for i := range db {
+			if !db[i].Equal(newDB[i]) {
+				tids = append(tids, i)
+			}
+		}
+	}
+	start = time.Now()
+	inc, err := core.IncPartMiner(newDB, tids, res)
+	if err != nil {
+		fatal(err)
+	}
+	report(condenseSet(inc.Patterns, *condense), time.Since(start), *showAll)
+	if *savePath != "" {
+		f, ferr := os.Create(*savePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if err := core.SaveResult(f, &inc.Result); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "saved updated result to %s\n", *savePath)
+	}
+	fmt.Fprintf(os.Stderr, "incremental: %d graphs updated, %d/%d units re-mined\n",
+		len(tids), len(inc.ReminedUnits), *k)
+	fmt.Fprintf(os.Stderr, "UF (unchanged frequent):    %d\n", len(inc.UF))
+	fmt.Fprintf(os.Stderr, "FI (frequent->infrequent):  %d\n", len(inc.FI))
+	fmt.Fprintf(os.Stderr, "IF (infrequent->frequent):  %d\n", len(inc.IF))
+}
+
+func readDB(path string) graph.Database {
+	in := os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	db, err := graph.ReadDatabase(in)
+	if err != nil {
+		fatal(err)
+	}
+	return db
+}
+
+func absSupport(db graph.Database, v float64) int {
+	if v >= 1 {
+		return int(v)
+	}
+	return core.AbsoluteSupport(db, v)
+}
+
+// condenseSet applies the -condense flag.
+func condenseSet(set pattern.Set, mode string) pattern.Set {
+	switch mode {
+	case "":
+		return set
+	case "closed":
+		return set.Closed()
+	case "maximal":
+		return set.Maximal()
+	default:
+		fatal(fmt.Errorf("unknown -condense mode %q (want closed or maximal)", mode))
+		return nil
+	}
+}
+
+func report(set pattern.Set, elapsed time.Duration, showAll bool) {
+	bySize := map[int]int{}
+	maxSize := 0
+	for _, p := range set {
+		bySize[p.Size()]++
+		if p.Size() > maxSize {
+			maxSize = p.Size()
+		}
+	}
+	fmt.Printf("%d frequent subgraphs in %v\n", len(set), elapsed)
+	for s := 1; s <= maxSize; s++ {
+		if bySize[s] > 0 {
+			fmt.Printf("  %2d-edge patterns: %d\n", s, bySize[s])
+		}
+	}
+	if showAll {
+		keys := set.Keys()
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := set[k]
+			fmt.Printf("%s support=%d\n", p.Code, p.Support)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partminer:", err)
+	os.Exit(1)
+}

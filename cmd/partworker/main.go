@@ -1,0 +1,33 @@
+// Command partworker runs a unit-mining worker for distributed PartMiner.
+// A coordinator (any process using partminer.DialWorkers) ships partition
+// units to workers and merges the returned frequent-pattern sets locally.
+//
+// Usage:
+//
+//	partworker -listen :4100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"partminer/internal/remote"
+)
+
+func main() {
+	listen := flag.String("listen", ":4100", "address to listen on")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partworker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "partworker: mining units on %s\n", l.Addr())
+	if err := remote.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "partworker:", err)
+		os.Exit(1)
+	}
+}

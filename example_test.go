@@ -1,0 +1,86 @@
+package partminer_test
+
+import (
+	"fmt"
+	"sort"
+
+	"partminer"
+)
+
+// buildToyDB makes three graphs sharing a labeled triangle; the third
+// lacks the pendant vertex the first two have.
+func buildToyDB() partminer.Database {
+	mk := func(id int, pendant bool) *partminer.Graph {
+		g := partminer.NewGraph(id)
+		a := g.AddVertex(0)
+		b := g.AddVertex(0)
+		c := g.AddVertex(1)
+		g.MustAddEdge(a, b, 0)
+		g.MustAddEdge(b, c, 0)
+		g.MustAddEdge(c, a, 0)
+		if pendant {
+			d := g.AddVertex(2)
+			g.MustAddEdge(a, d, 1)
+		}
+		return g
+	}
+	return partminer.Database{mk(0, true), mk(1, true), mk(2, false)}
+}
+
+// ExampleMine mines a tiny database and lists the patterns that occur in
+// every graph.
+func ExampleMine() {
+	db := buildToyDB()
+	res, err := partminer.Mine(db, partminer.Options{MinSupport: 3, K: 2})
+	if err != nil {
+		panic(err)
+	}
+	var lines []string
+	for _, p := range res.Patterns {
+		lines = append(lines, fmt.Sprintf("%d-edge pattern with support %d", p.Size(), p.Support))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// 1-edge pattern with support 3
+	// 1-edge pattern with support 3
+	// 2-edge pattern with support 3
+	// 2-edge pattern with support 3
+	// 3-edge pattern with support 3
+}
+
+// ExampleMineIncremental updates one graph and reclassifies the patterns.
+func ExampleMineIncremental() {
+	db := buildToyDB()
+	res, err := partminer.Mine(db, partminer.Options{MinSupport: 3, K: 2})
+	if err != nil {
+		panic(err)
+	}
+	// Relabel the third graph's lone 1-labeled vertex: the triangle is no
+	// longer shared by all three graphs.
+	db[2].Labels[2] = 9
+	inc, err := partminer.MineIncremental(db, []int{2}, res)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("unchanged %d, lost %d, gained %d\n", len(inc.UF), len(inc.FI), len(inc.IF))
+	// Output:
+	// unchanged 1, lost 4, gained 0
+}
+
+// ExamplePatternSet_Maximal condenses a mined set to its maximal members.
+func ExamplePatternSet_Maximal() {
+	db := buildToyDB()
+	res, err := partminer.Mine(db, partminer.Options{MinSupport: 3, K: 2})
+	if err != nil {
+		panic(err)
+	}
+	max := res.Patterns.Maximal()
+	for _, p := range max {
+		fmt.Printf("maximal: %d edges, support %d\n", p.Size(), p.Support)
+	}
+	// Output:
+	// maximal: 3 edges, support 3
+}

@@ -1,0 +1,52 @@
+// Chemistry: mine a synthetic molecule-like database (the paper's static
+// scenario) and compare PartMiner with the disk-based ADIMINE baseline,
+// reproducing the §5.1.2 observation: above a support crossover the
+// partition-based approach wins.
+//
+//	go run ./examples/chemistry
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"partminer"
+	"partminer/internal/adimine"
+)
+
+func main() {
+	// A database in the spirit of D50kT20N20L200I5, scaled to run in
+	// seconds: 20 labels play the role of atom/bond types, 200 recurring
+	// kernels play the role of shared functional groups.
+	db := partminer.Generate(partminer.GeneratorConfig{
+		D: 400, T: 20, N: 20, L: 200, I: 5, Seed: 2026,
+	})
+	fmt.Printf("database: %d graphs, %d total edges\n\n", len(db), db.TotalEdges())
+
+	fmt.Println("minsup   PartMiner   ADIMINE    #patterns")
+	for _, frac := range []float64{0.02, 0.04, 0.06} {
+		sup := partminer.AbsoluteSupport(db, frac)
+
+		t0 := time.Now()
+		res, err := partminer.Mine(db, partminer.Options{MinSupport: sup, K: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pmTime := time.Since(t0)
+
+		t0 = time.Now()
+		adiSet, err := adimine.Mine(db, adimine.Options{MinSupport: sup})
+		if err != nil {
+			log.Fatal(err)
+		}
+		adiTime := time.Since(t0)
+
+		if !res.Patterns.Equal(adiSet) {
+			log.Fatalf("miners disagree at %.0f%%: %v", frac*100, res.Patterns.Diff(adiSet))
+		}
+		fmt.Printf("%4.0f%%   %9v  %9v   %d\n", frac*100, pmTime.Round(time.Millisecond),
+			adiTime.Round(time.Millisecond), len(res.Patterns))
+	}
+	fmt.Println("\nboth miners returned identical pattern sets (verified).")
+}

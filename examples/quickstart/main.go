@@ -1,0 +1,64 @@
+// Quickstart: build a tiny graph database by hand, mine it with PartMiner,
+// and print every frequent subgraph with its support.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"partminer"
+)
+
+func main() {
+	// Three molecules sharing a carbon ring fragment. Labels: vertices
+	// 0=C, 1=O, 2=N; edges 0=single bond, 1=double bond.
+	db := partminer.Database{ring(0, true), ring(1, true), ring(2, false)}
+
+	res, err := partminer.Mine(db, partminer.Options{
+		MinSupport: 2, // a pattern must appear in 2 of the 3 graphs
+		K:          2, // split each graph into 2 partitions
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mined %d graphs -> %d frequent subgraphs (support >= 2)\n\n", len(db), len(res.Patterns))
+	keys := res.Patterns.Keys()
+	sort.Slice(keys, func(i, j int) bool {
+		pi, pj := res.Patterns[keys[i]], res.Patterns[keys[j]]
+		if pi.Size() != pj.Size() {
+			return pi.Size() < pj.Size()
+		}
+		return pi.Support > pj.Support
+	})
+	for _, k := range keys {
+		p := res.Patterns[k]
+		fmt.Printf("  %d edges, support %d: %s\n", p.Size(), p.Support, p.Code)
+	}
+	fmt.Printf("\nphase times: partition %v, units %v, merge-join %v\n",
+		res.PartitionTime, res.UnitTimes, res.MergeTime)
+}
+
+// ring builds a 4-carbon fragment with an oxygen; withN adds a pendant
+// nitrogen so that only the core fragment is frequent across all graphs.
+func ring(id int, withN bool) *partminer.Graph {
+	g := partminer.NewGraph(id)
+	c1 := g.AddVertex(0)
+	c2 := g.AddVertex(0)
+	c3 := g.AddVertex(0)
+	c4 := g.AddVertex(0)
+	o := g.AddVertex(1)
+	g.MustAddEdge(c1, c2, 0)
+	g.MustAddEdge(c2, c3, 1)
+	g.MustAddEdge(c3, c4, 0)
+	g.MustAddEdge(c4, c1, 0)
+	g.MustAddEdge(c1, o, 1)
+	if withN {
+		n := g.AddVertex(2)
+		g.MustAddEdge(c3, n, 0)
+	}
+	return g
+}

@@ -1,0 +1,3 @@
+module partminer
+
+go 1.22

@@ -1,0 +1,140 @@
+package adimine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+)
+
+func TestMineMatchesGSpan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := graph.RandomDatabase(rng, 7, 6, 8, 3, 2)
+		minSup := 2 + rng.Intn(2)
+		want := gspan.Mine(db, gspan.Options{MinSupport: minSup, MaxEdges: 4})
+		got, err := Mine(db, Options{MinSupport: minSup, MaxEdges: 4})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if !got.Equal(want) {
+			t.Logf("seed %d diff: %v", seed, got.Diff(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineWithTinyCacheAndPool(t *testing.T) {
+	// Starve both caches: every access re-decodes and pages churn.
+	rng := rand.New(rand.NewSource(9))
+	db := graph.RandomDatabase(rng, 10, 8, 12, 3, 2)
+	want := gspan.Mine(db, gspan.Options{MinSupport: 3, MaxEdges: 3})
+	ix, err := BuildIndex(db, Options{MinSupport: 3, MaxEdges: 3, PoolPages: 2, PageSize: 64, CacheGraphs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	got := ix.Mine()
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+	if ix.Decodes <= int64(len(db)) {
+		t.Errorf("Decodes = %d; a 1-graph cache should force re-decoding", ix.Decodes)
+	}
+	st := ix.StorageStats()
+	if st.Evictions == 0 || st.Reads == 0 {
+		t.Errorf("tiny pool should thrash: %+v", st)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(rng, int((seed%1000+1000)%1000), 2+rng.Intn(10), 3+rng.Intn(12), 5, 4)
+		back := decodeGraph(encodeGraph(g))
+		return back.Equal(g) && back.ID == g.ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrequentEdgeCount(t *testing.T) {
+	g1 := graph.New(0)
+	g1.AddVertex(0)
+	g1.AddVertex(1)
+	g1.MustAddEdge(0, 1, 7)
+	g2 := g1.Clone()
+	g3 := graph.New(2)
+	g3.AddVertex(5)
+	g3.AddVertex(5)
+	g3.MustAddEdge(0, 1, 9)
+	ix, err := BuildIndex(graph.Database{g1, g2, g3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if n := ix.FrequentEdgeCount(2); n != 1 {
+		t.Errorf("FrequentEdgeCount(2) = %d; want 1", n)
+	}
+	if n := ix.FrequentEdgeCount(1); n != 2 {
+		t.Errorf("FrequentEdgeCount(1) = %d; want 2", n)
+	}
+}
+
+func TestRebuildReflectsUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	db := graph.RandomDatabase(rng, 6, 6, 8, 3, 2)
+	ix, err := BuildIndex(db, Options{MinSupport: 2, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Mine()
+
+	newDB := db.Clone()
+	for _, g := range newDB {
+		g.Labels[0] = 7 // global relabel changes the frequent set
+	}
+	ix2, err := ix.Rebuild(newDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	after := ix2.Mine()
+	want := gspan.Mine(newDB, gspan.Options{MinSupport: 2, MaxEdges: 3})
+	if !after.Equal(want) {
+		t.Fatalf("rebuilt index mismatch: %v", after.Diff(want))
+	}
+	if after.Equal(before) {
+		t.Error("update should have changed the frequent set")
+	}
+}
+
+func TestGraphCacheServesRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := graph.RandomDatabase(rng, 4, 5, 6, 2, 2)
+	ix, err := BuildIndex(db, Options{CacheGraphs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	g1 := ix.Graph(2)
+	d := ix.Decodes
+	g2 := ix.Graph(2)
+	if ix.Decodes != d {
+		t.Error("second access should hit the cache")
+	}
+	if g1 != g2 {
+		t.Error("cache should return the same decoded graph")
+	}
+	if !g1.Equal(db[2]) {
+		t.Error("decoded graph differs from source")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"partminer/internal/graph"
+	"partminer/internal/partition"
+	"partminer/internal/pattern"
+)
+
+// IncResult is the outcome of IncPartMiner: the updated frequent set plus
+// the paper's three pattern categories (§4.5) and re-mining statistics.
+type IncResult struct {
+	// Result describes the post-update mining exactly as a fresh
+	// PartMiner run would (Patterns is the frequent set of the updated
+	// database), so further incremental rounds can chain on it.
+	Result
+	// UF (unchanged frequency) holds patterns frequent both before and
+	// after the update; FI (frequent→infrequent) patterns fell below the
+	// threshold; IF (infrequent→frequent) newly crossed it.
+	UF, FI, IF pattern.Set
+	// ReminedUnits lists the units whose partition pieces changed and
+	// were re-mined; the rest reused their previous results.
+	ReminedUnits []int
+}
+
+// IncPartMiner incrementally mines the updated database newDB given the
+// previous run prev over the pre-update database (Fig. 12). updatedTIDs
+// lists the indexes of the graphs that were modified; newDB must have the
+// same length and graph order as the database prev was mined from.
+//
+// The algorithm re-partitions newDB with the same bisector, re-mines only
+// the units whose pieces changed (updates isolated by the partitioning
+// criteria keep this set small), and replays the merge-join chain with
+// the incremental optimization: supporters of previously frequent
+// patterns among unchanged graphs carry over without isomorphism tests,
+// so frequency checking concentrates on the potential IF patterns — the
+// source of the paper's "tremendous savings".
+func IncPartMiner(newDB graph.Database, updatedTIDs []int, prev *Result) (*IncResult, error) {
+	if prev == nil || prev.Tree == nil {
+		return nil, fmt.Errorf("core: IncPartMiner requires a previous PartMiner result with its partition tree")
+	}
+	opts := prev.Options
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if len(newDB) != len(prev.Tree.Root.DB) {
+		return nil, fmt.Errorf("core: updated database has %d graphs; previous run had %d (updates must preserve graph order)",
+			len(newDB), len(prev.Tree.Root.DB))
+	}
+
+	res := &IncResult{}
+	updated := pattern.NewTIDSet(len(newDB))
+	for _, tid := range updatedTIDs {
+		if tid < 0 || tid >= len(newDB) {
+			return nil, fmt.Errorf("core: updated tid %d out of range [0,%d)", tid, len(newDB))
+		}
+		updated.Add(tid)
+	}
+
+	// Re-partition. Unchanged graphs split deterministically into the
+	// same pieces, so piece comparison below isolates the changed units.
+	start := time.Now()
+	tree, err := partition.DBPartition(newDB, opts.K, opts.Bisector)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = tree
+	res.PartitionTime = time.Since(start)
+
+	// Decide which units changed: a unit must be re-mined iff any updated
+	// graph's piece in it differs from the pre-update piece.
+	newLeaves := tree.Leaves()
+	oldLeaves := prev.Tree.Leaves()
+	if len(newLeaves) != len(oldLeaves) {
+		return nil, fmt.Errorf("core: partition shape changed (%d vs %d units)", len(newLeaves), len(oldLeaves))
+	}
+	needRemine := make([]bool, len(newLeaves))
+	for i := range newLeaves {
+		for _, tid := range updatedTIDs {
+			if !newLeaves[i].DB[tid].Equal(oldLeaves[i].DB[tid]) {
+				needRemine[i] = true
+				break
+			}
+		}
+	}
+
+	// Re-mine changed units only (Fig. 12 lines 3-5); reuse the rest.
+	res.UnitPatterns = make([]pattern.Set, len(newLeaves))
+	res.UnitTimes = make([]time.Duration, len(newLeaves))
+	res.UnitSupport = prev.UnitSupport
+	mineLeaf := func(i int) {
+		t0 := time.Now()
+		res.UnitPatterns[i] = opts.unitMiner()(newLeaves[i].DB, ceilDiv(opts.MinSupport, opts.K), opts.MaxEdges)
+		res.UnitTimes[i] = time.Since(t0)
+	}
+	var remineIdx []int
+	for i := range newLeaves {
+		if needRemine[i] {
+			remineIdx = append(remineIdx, i)
+		} else {
+			res.UnitPatterns[i] = prev.UnitPatterns[i]
+		}
+	}
+	res.ReminedUnits = remineIdx
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for _, i := range remineIdx {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				mineLeaf(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for _, i := range remineIdx {
+			mineLeaf(i)
+		}
+	}
+
+	// IncMergeJoin chain: replay the merges with the old node sets so
+	// unchanged transactions skip frequency checks.
+	t0 := time.Now()
+	res.NodeSets = make(map[string]pattern.Set)
+	res.Patterns = solve(tree.Root, "", res.UnitPatterns, opts, res.NodeSets, prev.NodeSets, updated, &res.MergeStats)
+	res.MergeTime = time.Since(t0)
+	res.Options = opts
+
+	// Classify against the pre-update results (Fig. 12 lines 13-15).
+	res.UF = make(pattern.Set)
+	res.FI = make(pattern.Set)
+	res.IF = make(pattern.Set)
+	for key, p := range res.Patterns {
+		if _, was := prev.Patterns[key]; was {
+			res.UF[key] = p
+		} else {
+			res.IF[key] = p
+		}
+	}
+	for key, p := range prev.Patterns {
+		if _, still := res.Patterns[key]; !still {
+			res.FI[key] = p
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+)
+
+// applyRandomUpdates mutates roughly frac of the graphs in db in place
+// (relabels, edge additions, vertex additions — the three update kinds of
+// §5) and returns the updated tids.
+func applyRandomUpdates(rng *rand.Rand, db graph.Database, frac float64) []int {
+	var updated []int
+	for tid, g := range db {
+		if rng.Float64() >= frac || g.VertexCount() < 2 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // relabel a vertex
+			v := rng.Intn(g.VertexCount())
+			g.Labels[v] = rng.Intn(4)
+			g.BumpUpdateFreq(v, 1)
+		case 1: // add an edge if a free slot exists
+			added := false
+			for try := 0; try < 10 && !added; try++ {
+				u, v := rng.Intn(g.VertexCount()), rng.Intn(g.VertexCount())
+				if u != v && !g.HasEdge(u, v) {
+					g.MustAddEdge(u, v, rng.Intn(3))
+					g.BumpUpdateFreq(u, 1)
+					g.BumpUpdateFreq(v, 1)
+					added = true
+				}
+			}
+			if !added {
+				continue
+			}
+		default: // add a vertex with a pendant edge
+			u := rng.Intn(g.VertexCount())
+			v := g.AddVertex(rng.Intn(4))
+			g.MustAddEdge(u, v, rng.Intn(3))
+			g.BumpUpdateFreq(v, 1)
+		}
+		updated = append(updated, tid)
+	}
+	return updated
+}
+
+// TestIncPartMinerEqualsFullRemine is the incremental correctness
+// backbone: IncPartMiner over updates must equal a fresh full mine of the
+// updated database, including the UF/FI/IF classification.
+func TestIncPartMinerEqualsFullRemine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := graph.RandomDatabase(rng, 8, 6, 8, 3, 2)
+		opts := Options{MinSupport: 2, K: 2 + rng.Intn(3), MaxEdges: 4}
+		prev, err := PartMiner(db, opts)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+
+		newDB := db.Clone()
+		updated := applyRandomUpdates(rng, newDB, 0.4)
+
+		inc, err := IncPartMiner(newDB, updated, prev)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := gspan.Mine(newDB, gspan.Options{MinSupport: opts.MinSupport, MaxEdges: opts.MaxEdges})
+		if !inc.Patterns.Equal(want) {
+			t.Logf("seed %d diff: %v", seed, inc.Patterns.Diff(want))
+			return false
+		}
+		// Classification checks.
+		for key := range inc.UF {
+			if _, ok := prev.Patterns[key]; !ok {
+				t.Log("UF pattern was not previously frequent")
+				return false
+			}
+			if _, ok := want[key]; !ok {
+				t.Log("UF pattern is not currently frequent")
+				return false
+			}
+		}
+		for key := range inc.IF {
+			if _, ok := prev.Patterns[key]; ok {
+				t.Log("IF pattern was previously frequent")
+				return false
+			}
+		}
+		for key := range inc.FI {
+			if _, ok := want[key]; ok {
+				t.Log("FI pattern is still frequent")
+				return false
+			}
+		}
+		if len(inc.UF)+len(inc.IF) != len(inc.Patterns) {
+			t.Log("UF+IF should partition the new frequent set")
+			return false
+		}
+		if len(inc.UF)+len(inc.FI) != len(prev.Patterns) {
+			t.Log("UF+FI should partition the old frequent set")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncPartMinerNoUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db := graph.RandomDatabase(rng, 6, 6, 8, 3, 2)
+	prev, err := PartMiner(db, Options{MinSupport: 2, K: 2, MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := IncPartMiner(db.Clone(), nil, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.ReminedUnits) != 0 {
+		t.Errorf("no updates should re-mine no units, got %v", inc.ReminedUnits)
+	}
+	if !inc.Patterns.Equal(prev.Patterns) {
+		t.Errorf("no-op update changed results: %v", inc.Patterns.Diff(prev.Patterns))
+	}
+	if len(inc.FI) != 0 || len(inc.IF) != 0 {
+		t.Errorf("no-op update produced FI=%d IF=%d", len(inc.FI), len(inc.IF))
+	}
+}
+
+func TestIncPartMinerLocalizedUpdateReminesFewerUnits(t *testing.T) {
+	// With updates concentrated on high-ufreq vertices and Partition1/3
+	// isolating them, at least some units should be reusable.
+	rng := rand.New(rand.NewSource(37))
+	db := graph.RandomDatabase(rng, 10, 8, 11, 3, 2)
+	for _, g := range db {
+		// Mark vertex 0 as the hot vertex everywhere.
+		g.BumpUpdateFreq(0, 10)
+	}
+	opts := Options{MinSupport: 2, K: 4, MaxEdges: 3}
+	prev, err := PartMiner(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDB := db.Clone()
+	// Update only one graph: relabel its hot vertex.
+	newDB[3].Labels[0] = 99
+	inc, err := IncPartMiner(newDB, []int{3}, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.ReminedUnits) == 4 {
+		t.Log("all units re-mined; localization did not help on this input (acceptable but logged)")
+	}
+	want := gspan.Mine(newDB, gspan.Options{MinSupport: 2, MaxEdges: 3})
+	if !inc.Patterns.Equal(want) {
+		t.Fatalf("diff: %v", inc.Patterns.Diff(want))
+	}
+}
+
+func TestIncPartMinerChained(t *testing.T) {
+	// Two rounds of incremental mining chained on each other.
+	rng := rand.New(rand.NewSource(61))
+	db := graph.RandomDatabase(rng, 8, 6, 8, 3, 2)
+	opts := Options{MinSupport: 2, K: 2, MaxEdges: 4}
+	prev, err := PartMiner(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := db
+	var inc *IncResult
+	for round := 0; round < 2; round++ {
+		next := cur.Clone()
+		updated := applyRandomUpdates(rng, next, 0.3)
+		inc, err = IncPartMiner(next, updated, prev)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		prev = &inc.Result
+		cur = next
+	}
+	want := gspan.Mine(cur, gspan.Options{MinSupport: 2, MaxEdges: 4})
+	if !inc.Patterns.Equal(want) {
+		t.Fatalf("chained incremental diff: %v", inc.Patterns.Diff(want))
+	}
+}
+
+func TestIncPartMinerErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := graph.RandomDatabase(rng, 4, 5, 6, 2, 2)
+	if _, err := IncPartMiner(db, nil, nil); err == nil {
+		t.Error("nil previous result should error")
+	}
+	prev, err := PartMiner(db, Options{MinSupport: 2, K: 2, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := db[:3]
+	if _, err := IncPartMiner(short, nil, prev); err == nil {
+		t.Error("database length change should error")
+	}
+	if _, err := IncPartMiner(db, []int{99}, prev); err == nil {
+		t.Error("out-of-range tid should error")
+	}
+}
+
+// TestIncPartMinerWithDeletions exercises the beyond-paper RemoveEdge
+// update kind: incremental mining must stay exact when graphs shrink.
+func TestIncPartMinerWithDeletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	db := graph.RandomDatabase(rng, 8, 6, 9, 3, 2)
+	opts := Options{MinSupport: 2, K: 2, MaxEdges: 4}
+	prev, err := PartMiner(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDB := db.Clone()
+	var updated []int
+	for tid, g := range newDB {
+		if tid%2 == 0 && g.EdgeCount() >= 2 {
+			// Delete one edge per even graph.
+			for u := 0; u < g.VertexCount(); u++ {
+				if g.Degree(u) > 0 {
+					e := g.Adj[u][0]
+					g.RemoveEdge(u, e.To)
+					break
+				}
+			}
+			updated = append(updated, tid)
+		}
+	}
+	inc, err := IncPartMiner(newDB, updated, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gspan.Mine(newDB, gspan.Options{MinSupport: 2, MaxEdges: 4})
+	if !inc.Patterns.Equal(want) {
+		t.Fatalf("deletion diff: %v", inc.Patterns.Diff(want))
+	}
+	if len(inc.FI) == 0 {
+		t.Log("no FI patterns under deletions on this seed (acceptable)")
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"partminer/internal/graph"
+	"partminer/internal/partition"
+	"partminer/internal/pattern"
+)
+
+// SaveResult serializes a mining result so that incremental mining can
+// resume in a later process (the paper's dynamic-environment scenario
+// rarely fits one process lifetime). The partition tree itself is not
+// stored: partitioning is deterministic, so LoadResult rebuilds it from
+// the database and the recorded options.
+//
+// Results produced with a custom Bisector or UnitMiner cannot be saved
+// (the functions are not serializable); use the built-in criteria.
+func SaveResult(w io.Writer, res *Result) error {
+	bisector, err := bisectorName(res.Options.Bisector)
+	if err != nil {
+		return err
+	}
+	if res.Options.UnitMiner != nil {
+		return fmt.Errorf("core: results with a custom UnitMiner cannot be saved")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "partminer-result v1")
+	fmt.Fprintf(bw, "options minsup=%d k=%d maxedges=%d strictpaper=%t parallel=%t bisector=%s\n",
+		res.Options.MinSupport, res.Options.K, res.Options.MaxEdges,
+		res.Options.StrictPaperJoin, res.Options.Parallel, bisector)
+	fmt.Fprintf(bw, "dbsize %d\n", len(res.Tree.Root.DB))
+	fmt.Fprintf(bw, "unitsupport %d\n", res.UnitSupport)
+	writeSet := func(name string, set pattern.Set) {
+		fmt.Fprintf(bw, "set %s %d\n", name, len(set))
+		for _, key := range set.Keys() {
+			fmt.Fprintln(bw, pattern.FormatPattern(set[key]))
+		}
+	}
+	writeSet("patterns", res.Patterns)
+	for i, set := range res.UnitPatterns {
+		writeSet(fmt.Sprintf("unit:%d", i), set)
+	}
+	for _, path := range sortedNodePaths(res.NodeSets) {
+		writeSet("node:"+pathToken(path), res.NodeSets[path])
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// LoadResult reconstructs a saved result against the same database it was
+// mined from. The database must be byte-identical in content and order;
+// partitioning is re-derived deterministically.
+func LoadResult(r io.Reader, db graph.Database) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		line++
+		return strings.TrimSpace(sc.Text()), true
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("core: load result line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	header, ok := next()
+	if !ok || header != "partminer-result v1" {
+		return nil, fail("bad header %q", header)
+	}
+	optLine, ok := next()
+	if !ok || !strings.HasPrefix(optLine, "options ") {
+		return nil, fail("missing options line")
+	}
+	res := &Result{NodeSets: make(map[string]pattern.Set)}
+	for _, kv := range strings.Fields(optLine)[1:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fail("bad option %q", kv)
+		}
+		switch parts[0] {
+		case "minsup":
+			res.Options.MinSupport, _ = strconv.Atoi(parts[1])
+		case "k":
+			res.Options.K, _ = strconv.Atoi(parts[1])
+		case "maxedges":
+			res.Options.MaxEdges, _ = strconv.Atoi(parts[1])
+		case "strictpaper":
+			res.Options.StrictPaperJoin = parts[1] == "true"
+		case "parallel":
+			res.Options.Parallel = parts[1] == "true"
+		case "bisector":
+			b, err := bisectorByName(parts[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			res.Options.Bisector = b
+		default:
+			return nil, fail("unknown option %q", parts[0])
+		}
+	}
+
+	sizeLine, ok := next()
+	if !ok {
+		return nil, fail("missing dbsize")
+	}
+	var dbsize int
+	if _, err := fmt.Sscanf(sizeLine, "dbsize %d", &dbsize); err != nil {
+		return nil, fail("bad dbsize line %q", sizeLine)
+	}
+	if dbsize != len(db) {
+		return nil, fmt.Errorf("core: saved result covers %d graphs; database has %d", dbsize, len(db))
+	}
+	usLine, ok := next()
+	if !ok {
+		return nil, fail("missing unitsupport")
+	}
+	if _, err := fmt.Sscanf(usLine, "unitsupport %d", &res.UnitSupport); err != nil {
+		return nil, fail("bad unitsupport line %q", usLine)
+	}
+
+	readSet := func(count int) (pattern.Set, error) {
+		set := make(pattern.Set, count)
+		for i := 0; i < count; i++ {
+			l, ok := next()
+			if !ok {
+				return nil, fail("truncated pattern set")
+			}
+			p, err := pattern.ParsePattern(l, len(db))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			set[p.Code.Key()] = p
+		}
+		return set, nil
+	}
+
+	for {
+		l, ok := next()
+		if !ok {
+			return nil, fail("missing end marker")
+		}
+		if l == "end" {
+			break
+		}
+		var name string
+		var count int
+		if _, err := fmt.Sscanf(l, "set %s %d", &name, &count); err != nil {
+			return nil, fail("bad set header %q", l)
+		}
+		set, err := readSet(count)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case name == "patterns":
+			res.Patterns = set
+		case strings.HasPrefix(name, "unit:"):
+			idx, err := strconv.Atoi(name[len("unit:"):])
+			if err != nil || idx < 0 {
+				return nil, fail("bad unit set %q", name)
+			}
+			for len(res.UnitPatterns) <= idx {
+				res.UnitPatterns = append(res.UnitPatterns, nil)
+			}
+			res.UnitPatterns[idx] = set
+		case strings.HasPrefix(name, "node:"):
+			res.NodeSets[tokenToPath(name[len("node:"):])] = set
+		default:
+			return nil, fail("unknown set %q", name)
+		}
+	}
+	if res.Patterns == nil {
+		return nil, fmt.Errorf("core: saved result has no pattern set")
+	}
+
+	// Rebuild the partition tree deterministically.
+	if err := res.Options.normalize(); err != nil {
+		return nil, err
+	}
+	tree, err := partition.DBPartition(db, res.Options.K, res.Options.Bisector)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = tree
+	if len(res.UnitPatterns) != len(tree.Leaves()) {
+		return nil, fmt.Errorf("core: saved result has %d unit sets; partitioning yields %d units",
+			len(res.UnitPatterns), len(tree.Leaves()))
+	}
+	return res, nil
+}
+
+// pathToken encodes a tree path for the file format; the root's empty
+// path becomes ".".
+func pathToken(path string) string {
+	if path == "" {
+		return "."
+	}
+	return path
+}
+
+func tokenToPath(tok string) string {
+	if tok == "." {
+		return ""
+	}
+	return tok
+}
+
+func sortedNodePaths(sets map[string]pattern.Set) []string {
+	paths := make([]string, 0, len(sets))
+	for p := range sets {
+		paths = append(paths, p)
+	}
+	// Shorter paths (higher tree levels) first, then lexicographic.
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if len(paths[j]) < len(paths[i]) || (len(paths[j]) == len(paths[i]) && paths[j] < paths[i]) {
+				paths[i], paths[j] = paths[j], paths[i]
+			}
+		}
+	}
+	return paths
+}
+
+func bisectorName(b partition.Bisector) (string, error) {
+	switch b {
+	case nil:
+		return "partition3", nil // the normalize() default
+	case partition.Partition1:
+		return "partition1", nil
+	case partition.Partition2:
+		return "partition2", nil
+	case partition.Partition3:
+		return "partition3", nil
+	}
+	if m, ok := b.(partition.Metis); ok {
+		if m != (partition.Metis{}) {
+			return "", fmt.Errorf("core: METIS bisector with custom parameters is not serializable")
+		}
+		return "metis", nil
+	}
+	return "", fmt.Errorf("core: bisector %T is not serializable; use a built-in criteria", b)
+}
+
+func bisectorByName(name string) (partition.Bisector, error) {
+	switch name {
+	case "partition1":
+		return partition.Partition1, nil
+	case "partition2":
+		return partition.Partition2, nil
+	case "partition3":
+		return partition.Partition3, nil
+	case "metis":
+		return partition.Metis{}, nil
+	}
+	return nil, fmt.Errorf("unknown bisector %q", name)
+}

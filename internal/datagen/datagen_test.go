@@ -1,0 +1,222 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+)
+
+func TestGenerateShape(t *testing.T) {
+	c := Config{D: 80, N: 10, T: 12, I: 4, L: 50, Seed: 7}
+	db := Generate(c)
+	if len(db) != 80 {
+		t.Fatalf("generated %d graphs; want 80", len(db))
+	}
+	totalEdges := 0
+	for i, g := range db {
+		if g.ID != i {
+			t.Errorf("graph %d has ID %d", i, g.ID)
+		}
+		if g.EdgeCount() == 0 {
+			t.Errorf("graph %d has no edges", i)
+		}
+		if !g.Connected() {
+			t.Errorf("graph %d is disconnected", i)
+		}
+		totalEdges += g.EdgeCount()
+	}
+	avg := float64(totalEdges) / float64(len(db))
+	// The assembly overshoots the target by up to one kernel; allow a
+	// generous band around T.
+	if avg < 0.6*float64(c.T) || avg > 2.0*float64(c.T) {
+		t.Errorf("average edges = %.1f; want near T=%d", avg, c.T)
+	}
+}
+
+func TestGenerateLabelUniverse(t *testing.T) {
+	c := Config{D: 30, N: 5, T: 10, I: 3, L: 20, Seed: 3}
+	db := Generate(c)
+	for _, g := range db {
+		for _, l := range g.Labels {
+			if l < 0 || l >= c.N {
+				t.Fatalf("vertex label %d outside [0,%d)", l, c.N)
+			}
+		}
+		for u := range g.Adj {
+			for _, e := range g.Adj[u] {
+				if e.Label < 0 || e.Label >= c.N {
+					t.Fatalf("edge label %d outside [0,%d)", e.Label, c.N)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := Config{D: 20, N: 8, T: 10, I: 4, L: 30, Seed: 99}
+	a := Generate(c)
+	b := Generate(c)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("graph %d differs across runs with the same seed", i)
+		}
+	}
+	c2 := c
+	c2.Seed = 100
+	d := Generate(c2)
+	same := true
+	for i := range a {
+		if !a[i].Equal(d[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestGenerateHasHotVertices(t *testing.T) {
+	db := Generate(Config{D: 40, N: 10, T: 12, I: 4, L: 30, Seed: 5, HotFraction: 0.2, HotWeight: 7})
+	hot := 0
+	total := 0
+	for _, g := range db {
+		total += g.VertexCount()
+		for v := 0; v < g.VertexCount(); v++ {
+			if g.UpdateFreq(v) == 7 {
+				hot++
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.1 || frac > 0.3 {
+		t.Errorf("hot fraction = %.2f; want near 0.2", frac)
+	}
+}
+
+func TestKernelsInduceFrequentPatterns(t *testing.T) {
+	// Planted kernels must make some multi-edge pattern frequent well
+	// above what a label-matched random database would produce.
+	db := Generate(Config{D: 60, N: 6, T: 10, I: 3, L: 10, Seed: 11})
+	set := gspan.Mine(db, gspan.Options{MinSupport: len(db) / 4, MaxEdges: 3})
+	multi := 0
+	for _, p := range set {
+		if p.Size() >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-edge pattern reaches 25% support; kernels are not being planted")
+	}
+}
+
+func TestName(t *testing.T) {
+	c := Config{D: 50000, T: 20, N: 20, L: 200, I: 5}
+	if got := c.Name(); got != "D50kT20N20L200I5" {
+		t.Errorf("Name = %q; want D50kT20N20L200I5", got)
+	}
+	c2 := Config{D: 1500, T: 10, N: 30, L: 200, I: 7}
+	if got := c2.Name(); got != "D1500T10N30L200I7" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestApplyUpdatesFractionAndKinds(t *testing.T) {
+	db := Generate(Config{D: 100, N: 10, T: 10, I: 4, L: 30, Seed: 21})
+	before := db.Clone()
+	updated := ApplyUpdates(db, UpdateConfig{Fraction: 0.4, Seed: 5, N: 10})
+	if len(updated) < 20 || len(updated) > 60 {
+		t.Errorf("updated %d of 100 graphs; want near 40", len(updated))
+	}
+	// Updated tids ascend and must differ from the originals.
+	for i := 1; i < len(updated); i++ {
+		if updated[i] <= updated[i-1] {
+			t.Fatal("updated tids not ascending")
+		}
+	}
+	changed := 0
+	for _, tid := range updated {
+		if !db[tid].Equal(before[tid]) {
+			changed++
+		}
+	}
+	if changed != len(updated) {
+		t.Errorf("only %d of %d reported-updated graphs actually changed", changed, len(updated))
+	}
+	// Non-updated graphs must be untouched.
+	um := map[int]bool{}
+	for _, tid := range updated {
+		um[tid] = true
+	}
+	for tid := range db {
+		if !um[tid] && !db[tid].Equal(before[tid]) {
+			t.Errorf("graph %d changed without being reported", tid)
+		}
+	}
+}
+
+func TestApplyUpdatesRelabelOnlyKeepsShape(t *testing.T) {
+	db := Generate(Config{D: 50, N: 10, T: 10, I: 4, L: 30, Seed: 2})
+	before := db.Clone()
+	updated := ApplyUpdates(db, UpdateConfig{Fraction: 0.5, Kinds: []UpdateKind{Relabel}, Seed: 9, N: 10})
+	if len(updated) == 0 {
+		t.Fatal("no updates applied")
+	}
+	for _, tid := range updated {
+		if db[tid].VertexCount() != before[tid].VertexCount() ||
+			db[tid].EdgeCount() != before[tid].EdgeCount() {
+			t.Errorf("relabel-only update changed graph %d's shape", tid)
+		}
+	}
+}
+
+func TestApplyUpdatesStructuralGrowShape(t *testing.T) {
+	db := Generate(Config{D: 50, N: 10, T: 10, I: 4, L: 30, Seed: 2})
+	before := db.Clone()
+	updated := ApplyUpdates(db, UpdateConfig{
+		Fraction: 0.5, Kinds: []UpdateKind{AddEdge, AddVertex}, Seed: 9, N: 10, OpsPerGraph: 3,
+	})
+	if len(updated) == 0 {
+		t.Fatal("no updates applied")
+	}
+	for _, tid := range updated {
+		if db[tid].EdgeCount() <= before[tid].EdgeCount() {
+			t.Errorf("structural update did not grow graph %d", tid)
+		}
+		for v, l := range before[tid].Labels {
+			if db[tid].Labels[v] != l {
+				t.Errorf("structural update relabeled vertex %d of graph %d", v, tid)
+			}
+		}
+	}
+}
+
+func TestApplyUpdatesBumpsUFreq(t *testing.T) {
+	db := graph.Database{graph.RandomConnected(rand.New(rand.NewSource(8)), 0, 6, 8, 3, 3)}
+	sum := func() float64 {
+		s := 0.0
+		for v := 0; v < db[0].VertexCount(); v++ {
+			s += db[0].UpdateFreq(v)
+		}
+		return s
+	}
+	beforeSum := sum()
+	updated := ApplyUpdates(db, UpdateConfig{Fraction: 1.0, Seed: 4, N: 3})
+	if len(updated) != 1 {
+		t.Fatalf("expected the single graph updated, got %v", updated)
+	}
+	if sum() <= beforeSum {
+		t.Error("updates should bump update frequencies")
+	}
+}
+
+func TestUpdateKindString(t *testing.T) {
+	if Relabel.String() != "relabel" || AddEdge.String() != "add-edge" || AddVertex.String() != "add-vertex" {
+		t.Error("kind names wrong")
+	}
+	if UpdateKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

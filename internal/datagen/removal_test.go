@@ -1,0 +1,54 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestRemoveEdgeUpdateKind(t *testing.T) {
+	db := Generate(Config{D: 50, N: 10, T: 12, I: 4, L: 30, Seed: 6})
+	before := db.Clone()
+	updated := ApplyUpdates(db, UpdateConfig{
+		Fraction: 0.6, Kinds: []UpdateKind{RemoveEdge}, Seed: 12, N: 10, OpsPerGraph: 2,
+	})
+	if len(updated) == 0 {
+		t.Fatal("no removal updates applied")
+	}
+	for _, tid := range updated {
+		if db[tid].EdgeCount() >= before[tid].EdgeCount() {
+			t.Errorf("graph %d did not shrink (%d -> %d edges)",
+				tid, before[tid].EdgeCount(), db[tid].EdgeCount())
+		}
+		if db[tid].VertexCount() != before[tid].VertexCount() {
+			t.Errorf("graph %d changed vertex count under edge removal", tid)
+		}
+		if db[tid].EdgeCount() == 0 {
+			t.Errorf("graph %d lost all edges", tid)
+		}
+	}
+	if RemoveEdge.String() != "remove-edge" {
+		t.Errorf("kind name = %q", RemoveEdge.String())
+	}
+}
+
+func TestRemoveEdgeSkipsTinyGraphs(t *testing.T) {
+	// A single-edge graph must be left alone.
+	db := Generate(Config{D: 1, N: 3, T: 1, I: 1, L: 2, Seed: 1})
+	for db[0].EdgeCount() > 1 {
+		// Shrink it down to one edge first.
+		for u := 0; u < db[0].VertexCount(); u++ {
+			if db[0].Degree(u) > 0 && db[0].EdgeCount() > 1 {
+				e := db[0].Adj[u][0]
+				db[0].RemoveEdge(u, e.To)
+			}
+		}
+	}
+	updated := ApplyUpdates(db, UpdateConfig{
+		Fraction: 1.0, Kinds: []UpdateKind{RemoveEdge}, Seed: 3, N: 3,
+	})
+	if len(updated) != 0 {
+		t.Errorf("single-edge graph should not be updated, got %v", updated)
+	}
+	if db[0].EdgeCount() != 1 {
+		t.Errorf("edge count = %d; want 1", db[0].EdgeCount())
+	}
+}

@@ -1,0 +1,195 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partminer/internal/graph"
+)
+
+// UpdateKind selects one of the paper's three update operations (§5).
+type UpdateKind int
+
+const (
+	// Relabel updates a vertex or edge label to an existing or new label.
+	Relabel UpdateKind = iota
+	// AddEdge inserts a new edge between two existing vertices.
+	AddEdge
+	// AddVertex inserts a new vertex with one incident edge.
+	AddVertex
+	// RemoveEdge deletes an existing edge. The paper's update model (§5)
+	// covers only relabels and additions; deletion is provided as an
+	// extension — IncPartMiner is exact under arbitrary modifications, so
+	// it handles shrinking graphs too. RemoveEdge is opt-in: it is not
+	// part of the default kind mix.
+	RemoveEdge
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case Relabel:
+		return "relabel"
+	case AddEdge:
+		return "add-edge"
+	case AddVertex:
+		return "add-vertex"
+	case RemoveEdge:
+		return "remove-edge"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", int(k))
+	}
+}
+
+// UpdateConfig controls an update round.
+type UpdateConfig struct {
+	// Fraction of graphs to update, 0..1 (paper: 20% to 80%).
+	Fraction float64
+	// Kinds lists the operations to draw from; empty means all three.
+	Kinds []UpdateKind
+	// OpsPerGraph is the number of operations applied to each updated
+	// graph; default 2.
+	OpsPerGraph int
+	// NewLabelProb is the probability a relabel/addition introduces a
+	// label outside the original N (the paper's "existing or new
+	// labels"); default 0.3.
+	NewLabelProb float64
+	// N is the label universe size for existing labels; default 20.
+	N int
+	// Seed drives the deterministic choice of targets.
+	Seed int64
+	// PreferHot biases target vertices toward high update-frequency
+	// vertices (default true), which matches the premise that updates
+	// cluster on hot spots. Every touched vertex's frequency is bumped.
+	PreferHot bool
+}
+
+func (c UpdateConfig) withDefaults() UpdateConfig {
+	if c.OpsPerGraph <= 0 {
+		c.OpsPerGraph = 2
+	}
+	if c.NewLabelProb < 0 {
+		c.NewLabelProb = 0
+	} else if c.NewLabelProb == 0 {
+		c.NewLabelProb = 0.3
+	}
+	if c.N <= 0 {
+		c.N = 20
+	}
+	return c
+}
+
+// ApplyUpdates mutates db in place per the configuration and returns the
+// indexes of the updated graphs in ascending order. Kinds defaults to all
+// three operations.
+func ApplyUpdates(db graph.Database, cfg UpdateConfig) []int {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = []UpdateKind{Relabel, AddEdge, AddVertex}
+	}
+	var updated []int
+	for tid, g := range db {
+		if rng.Float64() >= cfg.Fraction || g.VertexCount() == 0 {
+			continue
+		}
+		touched := false
+		for op := 0; op < cfg.OpsPerGraph; op++ {
+			if applyOne(rng, g, kinds[rng.Intn(len(kinds))], cfg) {
+				touched = true
+			}
+		}
+		if touched {
+			updated = append(updated, tid)
+		}
+	}
+	return updated
+}
+
+// pickVertex selects a target vertex, preferring hot vertices when
+// configured (weight ufreq+1 so cold vertices stay reachable).
+func pickVertex(rng *rand.Rand, g *graph.Graph, cfg UpdateConfig) int {
+	n := g.VertexCount()
+	if !cfg.PreferHot || g.UFreq == nil {
+		return rng.Intn(n)
+	}
+	total := 0.0
+	for v := 0; v < n; v++ {
+		total += g.UpdateFreq(v) + 1
+	}
+	x := rng.Float64() * total
+	for v := 0; v < n; v++ {
+		x -= g.UpdateFreq(v) + 1
+		if x <= 0 {
+			return v
+		}
+	}
+	return n - 1
+}
+
+func (c UpdateConfig) label(rng *rand.Rand) int {
+	if rng.Float64() < c.NewLabelProb {
+		return c.N + rng.Intn(c.N) // a label outside the original universe
+	}
+	return rng.Intn(c.N)
+}
+
+func applyOne(rng *rand.Rand, g *graph.Graph, kind UpdateKind, cfg UpdateConfig) bool {
+	switch kind {
+	case Relabel:
+		v := pickVertex(rng, g, cfg)
+		if g.Degree(v) > 0 && rng.Float64() < 0.5 {
+			// Relabel an incident edge instead of the vertex.
+			e := g.Adj[v][rng.Intn(g.Degree(v))]
+			g.SetEdgeLabel(v, e.To, cfg.label(rng))
+			g.BumpUpdateFreq(v, 1)
+			g.BumpUpdateFreq(e.To, 1)
+			return true
+		}
+		g.Labels[v] = cfg.label(rng)
+		g.BumpUpdateFreq(v, 1)
+		return true
+	case AddEdge:
+		n := g.VertexCount()
+		if n < 2 {
+			return false
+		}
+		for try := 0; try < 10; try++ {
+			u := pickVertex(rng, g, cfg)
+			v := rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, cfg.label(rng))
+				g.BumpUpdateFreq(u, 1)
+				g.BumpUpdateFreq(v, 1)
+				return true
+			}
+		}
+		return false
+	case AddVertex:
+		u := pickVertex(rng, g, cfg)
+		v := g.AddVertex(cfg.label(rng))
+		g.MustAddEdge(u, v, cfg.label(rng))
+		g.BumpUpdateFreq(u, 1)
+		g.BumpUpdateFreq(v, 1)
+		return true
+	case RemoveEdge:
+		if g.EdgeCount() < 2 {
+			return false // keep at least one edge so the graph stays mineable
+		}
+		for try := 0; try < 10; try++ {
+			u := pickVertex(rng, g, cfg)
+			if g.Degree(u) == 0 {
+				continue
+			}
+			e := g.Adj[u][rng.Intn(g.Degree(u))]
+			if g.RemoveEdge(u, e.To) {
+				g.BumpUpdateFreq(u, 1)
+				g.BumpUpdateFreq(e.To, 1)
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

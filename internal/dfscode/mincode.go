@@ -1,0 +1,210 @@
+package dfscode
+
+import "partminer/internal/graph"
+
+// MinCode computes the minimum DFS code of a connected graph with at least
+// one edge. It returns nil for graphs with no edges (a single vertex has no
+// edge-sequence encoding; miners treat single vertices separately).
+//
+// The algorithm grows the code one edge at a time, maintaining every
+// embedding of the current prefix into g. At each step it considers all
+// gSpan rightmost-path extensions across all embeddings, keeps the
+// lexicographically smallest edge code, and discards embeddings that do not
+// realize it. This is the standard canonical-form construction used inside
+// gSpan's is-minimal check.
+func MinCode(g *graph.Graph) Code {
+	code, _ := minCode(g, nil)
+	return code
+}
+
+// IsCanonical reports whether c is the minimum DFS code of the graph it
+// encodes. Miners use it to prune duplicate pattern enumerations.
+func IsCanonical(c Code) bool {
+	if len(c) == 0 {
+		return true
+	}
+	_, cmp := minCode(c.Graph(), c)
+	return cmp == 0
+}
+
+// embedding maps DFS indices 0..t to distinct graph vertices. Edge usage is
+// implied by the shared code prefix: graph edge (verts[a], verts[b]) is used
+// iff the code contains an edge between DFS indices a and b.
+type embedding struct {
+	verts []int
+}
+
+func (m embedding) maps(v int) bool {
+	for _, u := range m.verts {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// minCode builds the minimum DFS code of g. If abortAt is non-nil, the
+// construction compares each chosen edge against abortAt and stops early as
+// soon as the codes diverge; the second return value is the comparison
+// result of the (possibly partial) minimum code against abortAt (-1 smaller,
+// 0 equal, +1 larger).
+func minCode(g *graph.Graph, abortAt Code) (Code, int) {
+	ne := g.EdgeCount()
+	if ne == 0 {
+		if len(abortAt) == 0 {
+			return nil, 0
+		}
+		return nil, -1
+	}
+
+	// Seed: the minimal 1-edge code over all edges and orientations.
+	var first EdgeCode
+	haveFirst := false
+	for u := 0; u < g.VertexCount(); u++ {
+		for _, e := range g.Adj[u] {
+			cand := EdgeCode{I: 0, J: 1, LI: g.Labels[u], LE: e.Label, LJ: g.Labels[e.To]}
+			if !haveFirst || Less(cand, first) {
+				first = cand
+				haveFirst = true
+			}
+		}
+	}
+	code := Code{first}
+	var embs []embedding
+	for u := 0; u < g.VertexCount(); u++ {
+		if g.Labels[u] != first.LI {
+			continue
+		}
+		for _, e := range g.Adj[u] {
+			if e.Label == first.LE && g.Labels[e.To] == first.LJ {
+				embs = append(embs, embedding{verts: []int{u, e.To}})
+			}
+		}
+	}
+	rmpath := []int{0, 1}
+	if abortAt != nil {
+		if cmp := cmpEdge(first, abortAt[0]); cmp != 0 {
+			return code, cmp
+		}
+	}
+
+	for len(code) < ne {
+		t := len(rmpath) - 1
+		rightmost := rmpath[t]
+
+		// Backward extensions from the rightmost vertex to rightmost-path
+		// vertices, smallest target DFS index first. Any backward edge
+		// sorts before every forward edge, so the first realizable
+		// backward candidate wins outright.
+		var next EdgeCode
+		var nextEmbs []embedding
+		haveNext := false
+		for pi := 0; pi < len(rmpath)-2 && !haveNext; pi++ {
+			target := rmpath[pi]
+			if code.HasEdge(rightmost, target) {
+				continue
+			}
+			// Among embeddings, the edge label may vary; take the minimum.
+			bestLE := 0
+			haveLE := false
+			for _, m := range embs {
+				le, ok := g.EdgeLabel(m.verts[rightmost], m.verts[target])
+				if !ok {
+					continue
+				}
+				if !haveLE || le < bestLE {
+					bestLE = le
+					haveLE = true
+				}
+			}
+			if !haveLE {
+				continue
+			}
+			liLabel, _ := code.VertexLabel(rightmost)
+			ljLabel, _ := code.VertexLabel(target)
+			next = EdgeCode{I: rightmost, J: target, LI: liLabel, LE: bestLE, LJ: ljLabel}
+			nextEmbs = nextEmbs[:0]
+			for _, m := range embs {
+				if le, ok := g.EdgeLabel(m.verts[rightmost], m.verts[target]); ok && le == bestLE {
+					nextEmbs = append(nextEmbs, m)
+				}
+			}
+			haveNext = true
+		}
+
+		if !haveNext {
+			// Forward extensions from rightmost-path vertices, trying the
+			// rightmost vertex first (larger source index sorts smaller).
+			for pi := len(rmpath) - 1; pi >= 0 && !haveNext; pi-- {
+				src := rmpath[pi]
+				bestLE, bestLJ := 0, 0
+				haveF := false
+				for _, m := range embs {
+					for _, e := range g.Adj[m.verts[src]] {
+						if m.maps(e.To) {
+							continue
+						}
+						lj := g.Labels[e.To]
+						if !haveF || e.Label < bestLE || (e.Label == bestLE && lj < bestLJ) {
+							bestLE, bestLJ = e.Label, lj
+							haveF = true
+						}
+					}
+				}
+				if !haveF {
+					continue
+				}
+				liLabel, _ := code.VertexLabel(src)
+				newIdx := code.VertexCount()
+				next = EdgeCode{I: src, J: newIdx, LI: liLabel, LE: bestLE, LJ: bestLJ}
+				nextEmbs = nextEmbs[:0]
+				for _, m := range embs {
+					for _, e := range g.Adj[m.verts[src]] {
+						if m.maps(e.To) || e.Label != bestLE || g.Labels[e.To] != bestLJ {
+							continue
+						}
+						nv := make([]int, len(m.verts), len(m.verts)+1)
+						copy(nv, m.verts)
+						nextEmbs = append(nextEmbs, embedding{verts: append(nv, e.To)})
+					}
+				}
+				// The embedding set changes length on forward extensions,
+				// so truncate the rightmost path to the source and append
+				// the new vertex.
+				rmpath = append(rmpath[:pi+1], newIdx)
+				haveNext = true
+			}
+		}
+
+		if !haveNext {
+			// Unreachable for connected graphs: a connected graph always
+			// admits a forward extension until all edges are consumed.
+			panic("dfscode: no extension found; graph is disconnected")
+		}
+		code = append(code, next)
+		embs = nextEmbs
+		if abortAt != nil {
+			k := len(code) - 1
+			if k >= len(abortAt) {
+				return code, 1
+			}
+			if cmp := cmpEdge(next, abortAt[k]); cmp != 0 {
+				return code, cmp
+			}
+		}
+	}
+	if abortAt != nil && len(code) < len(abortAt) {
+		return code, -1
+	}
+	return code, 0
+}
+
+func cmpEdge(a, b EdgeCode) int {
+	if a == b {
+		return 0
+	}
+	if Less(a, b) {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,189 @@
+// Package extend implements the rightmost-path pattern-growth machinery
+// shared by the gSpan and Gaston unit miners: projections (embedding lists
+// of a DFS code into database graphs) and the enumeration of candidate
+// one-edge extensions in canonical order.
+package extend
+
+import (
+	"sort"
+
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+	"partminer/internal/pattern"
+)
+
+// Source abstracts where database graphs come from so that the same
+// pattern-growth machinery serves in-memory miners (gSpan, Gaston) and the
+// disk-based ADIMINE baseline, whose graphs are decoded from block storage
+// on demand.
+type Source interface {
+	// Len returns the number of transactions.
+	Len() int
+	// Graph returns transaction tid. Implementations may return a cached
+	// or freshly decoded graph; callers must not mutate it.
+	Graph(tid int) *graph.Graph
+}
+
+type dbSource struct{ db graph.Database }
+
+func (s dbSource) Len() int                   { return len(s.db) }
+func (s dbSource) Graph(tid int) *graph.Graph { return s.db[tid] }
+
+// DB adapts an in-memory database to a Source.
+func DB(db graph.Database) Source { return dbSource{db} }
+
+// Embedding records one occurrence of a pattern in a database graph:
+// Verts[i] is the graph vertex playing DFS index i. The set of graph edges
+// covered is implied by the pattern's code, so embeddings stay cheap.
+type Embedding struct {
+	TID   int
+	Verts []int
+}
+
+// maps reports whether graph vertex v is already used by the embedding.
+func (m Embedding) maps(v int) bool {
+	for _, u := range m.Verts {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Projection is the list of all embeddings of one pattern across the
+// database.
+type Projection []Embedding
+
+// Support returns the number of distinct transactions in the projection.
+// Embeddings are grouped by construction (extensions preserve TID order),
+// but Support does not rely on that.
+func (p Projection) Support() int {
+	seen := make(map[int]struct{}, len(p))
+	for _, m := range p {
+		seen[m.TID] = struct{}{}
+	}
+	return len(seen)
+}
+
+// TIDs returns the supporting transaction ids as a bitset sized for a
+// database of n graphs.
+func (p Projection) TIDs(n int) *pattern.TIDSet {
+	t := pattern.NewTIDSet(n)
+	for _, m := range p {
+		t.Add(m.TID)
+	}
+	return t
+}
+
+// Candidate couples a one-edge extension with the projection of the
+// extended pattern.
+type Candidate struct {
+	Edge dfscode.EdgeCode
+	Proj Projection
+}
+
+// Initial returns the frequent 1-edge patterns of src (support >= minSup)
+// as candidates whose Edge is the canonical 1-edge code (0,1,li,le,lj)
+// with li <= lj, sorted ascending. Projections include both orientations
+// of symmetric edges, mirroring how MinCode seeds its embeddings.
+func Initial(src Source, minSup int) []Candidate {
+	type key struct{ li, le, lj int }
+	projs := make(map[key]Projection)
+	for tid := 0; tid < src.Len(); tid++ {
+		g := src.Graph(tid)
+		for u := 0; u < g.VertexCount(); u++ {
+			for _, e := range g.Adj[u] {
+				lu, lv := g.Labels[u], g.Labels[e.To]
+				if lu > lv {
+					continue // count each undirected edge from its smaller-label side
+				}
+				if lu == lv && u > e.To {
+					// Equal labels: both orientations are embeddings of the
+					// same code; enumerate from both directions but only
+					// via the u < e.To guard below to avoid double-adding.
+					continue
+				}
+				k := key{lu, e.Label, lv}
+				projs[k] = append(projs[k], Embedding{TID: tid, Verts: []int{u, e.To}})
+				if lu == lv {
+					projs[k] = append(projs[k], Embedding{TID: tid, Verts: []int{e.To, u}})
+				}
+			}
+		}
+	}
+	var out []Candidate
+	for k, proj := range projs {
+		if proj.Support() < minSup {
+			continue
+		}
+		out = append(out, Candidate{
+			Edge: dfscode.EdgeCode{I: 0, J: 1, LI: k.li, LE: k.le, LJ: k.lj},
+			Proj: proj,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return dfscode.Less(out[i].Edge, out[j].Edge) })
+	return out
+}
+
+// Extensions enumerates the rightmost-path one-edge extensions of code
+// over the projection, grouped by extension edge code and sorted in
+// canonical (gSpan) order. When forwardOnly is set, backward (cycle
+// closing) extensions are suppressed — the Gaston tree phase uses this.
+//
+// Backward extensions go from the rightmost vertex to a rightmost-path
+// vertex (skipping the parent tree edge and edges already in the code).
+// Forward extensions grow a new vertex from any rightmost-path vertex.
+func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool) []Candidate {
+	rmpath := code.RightmostPath()
+	rightmost := rmpath[len(rmpath)-1]
+	newIdx := code.VertexCount()
+
+	buckets := make(map[dfscode.EdgeCode]Projection)
+
+	rmLabel, _ := code.VertexLabel(rightmost)
+	for _, m := range proj {
+		g := src.Graph(m.TID)
+		rv := m.Verts[rightmost]
+
+		if !forwardOnly {
+			// Backward: rightmost vertex -> rmpath vertex, excluding the
+			// parent (rmpath[len-2]) whose tree edge is already in code.
+			for pi := 0; pi < len(rmpath)-2; pi++ {
+				target := rmpath[pi]
+				if code.HasEdge(rightmost, target) {
+					continue
+				}
+				le, ok := g.EdgeLabel(rv, m.Verts[target])
+				if !ok {
+					continue
+				}
+				tl, _ := code.VertexLabel(target)
+				ec := dfscode.EdgeCode{I: rightmost, J: target, LI: rmLabel, LE: le, LJ: tl}
+				buckets[ec] = append(buckets[ec], m)
+			}
+		}
+
+		// Forward from every rightmost-path vertex.
+		for pi := len(rmpath) - 1; pi >= 0; pi-- {
+			src := rmpath[pi]
+			sl, _ := code.VertexLabel(src)
+			sv := m.Verts[src]
+			for _, e := range g.Adj[sv] {
+				if m.maps(e.To) {
+					continue
+				}
+				ec := dfscode.EdgeCode{I: src, J: newIdx, LI: sl, LE: e.Label, LJ: g.Labels[e.To]}
+				nv := make([]int, len(m.Verts), len(m.Verts)+1)
+				copy(nv, m.Verts)
+				buckets[ec] = append(buckets[ec], Embedding{TID: m.TID, Verts: append(nv, e.To)})
+			}
+		}
+	}
+
+	out := make([]Candidate, 0, len(buckets))
+	for ec, pr := range buckets {
+		out = append(out, Candidate{Edge: ec, Proj: pr})
+	}
+	sort.Slice(out, func(i, j int) bool { return dfscode.Less(out[i].Edge, out[j].Edge) })
+	return out
+}

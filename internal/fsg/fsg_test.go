@@ -1,0 +1,118 @@
+package fsg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+	"partminer/internal/isomorph"
+)
+
+func TestMineMatchesGSpan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := graph.RandomDatabase(rng, 6, 5, 7, 2, 2)
+		minSup := 2 + rng.Intn(3)
+		want := gspan.Mine(db, gspan.Options{MinSupport: minSup, MaxEdges: 5})
+		got := Mine(db, Options{MinSupport: minSup, MaxEdges: 5})
+		if !got.Equal(want) {
+			t.Logf("seed %d diff: %v", seed, got.Diff(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineUnboundedMatchesGSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2})
+	got := Mine(db, Options{MinSupport: 2})
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+}
+
+func TestMineCyclicPatterns(t *testing.T) {
+	// Fused triangles stress the join's cyclic-core handling.
+	mk := func() *graph.Graph {
+		g := graph.New(0)
+		for i := 0; i < 4; i++ {
+			g.AddVertex(0)
+		}
+		g.MustAddEdge(0, 1, 0)
+		g.MustAddEdge(1, 2, 0)
+		g.MustAddEdge(2, 0, 0)
+		g.MustAddEdge(1, 3, 0)
+		g.MustAddEdge(2, 3, 0)
+		return g
+	}
+	db := graph.Database{mk(), mk(), mk()}
+	got := Mine(db, Options{MinSupport: 3})
+	want := gspan.Mine(db, gspan.Options{MinSupport: 3})
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+}
+
+func TestMineSupportsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := graph.RandomDatabase(rng, 8, 6, 8, 3, 2)
+	got := Mine(db, Options{MinSupport: 3, MaxEdges: 3})
+	for _, p := range got {
+		if s := isomorph.Support(db, p.Code.Graph()); s != p.Support {
+			t.Errorf("%s: support %d, recount %d", p.Code, p.Support, s)
+		}
+		if p.TIDs.Count() != p.Support {
+			t.Errorf("%s: TIDs inconsistent", p.Code)
+		}
+	}
+}
+
+func TestMineMaxEdgesOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	db := graph.RandomDatabase(rng, 5, 5, 6, 2, 2)
+	got := Mine(db, Options{MinSupport: 2, MaxEdges: 1})
+	for _, p := range got {
+		if p.Size() != 1 {
+			t.Errorf("MaxEdges=1 returned %s", p)
+		}
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 1})
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+}
+
+func TestGluePairsShapes(t *testing.T) {
+	db := graph.Database{}
+	_ = db
+	f1 := frequentEdges(graph.Database{twoEdgePath()}, 1)
+	cands := gluePairs(setSlice(f1))
+	for _, g := range cands {
+		if g.EdgeCount() != 2 || g.VertexCount() != 3 {
+			t.Errorf("glue candidate has wrong shape: %d edges %d vertices", g.EdgeCount(), g.VertexCount())
+		}
+		if !g.Connected() {
+			t.Error("glue candidate disconnected")
+		}
+	}
+	if len(cands) == 0 {
+		t.Error("expected candidates")
+	}
+}
+
+func twoEdgePath() *graph.Graph {
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(1)
+	g.AddVertex(2)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 1)
+	return g
+}

@@ -1,0 +1,182 @@
+package gaston
+
+import (
+	"partminer/internal/dfscode"
+	"partminer/internal/extend"
+	"partminer/internal/graph"
+	"partminer/internal/pattern"
+	"partminer/internal/treecode"
+)
+
+// Engine selects the enumeration machinery.
+type Engine int
+
+const (
+	// EngineDFSCode enumerates with rightmost-path extensions and minimum
+	// DFS-code canonicality (shared with gSpan); this is the default.
+	EngineDFSCode Engine = iota
+	// EngineFreeTree follows Gaston's original factorization more
+	// closely: frequent free trees are enumerated first with cheap
+	// tree-specific canonical forms (internal/treecode) and occurrence
+	// lists, and cyclic patterns are produced by closing cycles on the
+	// frequent trees. Minimum DFS codes are computed only for cyclic
+	// deduplication and for the output keys.
+	EngineFreeTree
+)
+
+// treePat is one frequent acyclic pattern with its occurrence list:
+// Proj[i].Verts[v] is the database vertex playing pattern vertex v.
+type treePat struct {
+	g    *graph.Graph
+	proj extend.Projection
+}
+
+// embeds reports whether the embedding already uses db vertex v.
+func embUses(m extend.Embedding, v int) bool {
+	for _, u := range m.Verts {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// mineFreeTree is the EngineFreeTree implementation of MineWithStats.
+//
+// Completeness: every tree with k+1 edges is a tree with k edges plus a
+// leaf, so leaf extension over all frequent trees with global canonical
+// dedup finds every frequent tree; every connected cyclic pattern is a
+// frequent spanning tree (Apriori) plus cycle-closing edges, so closing
+// cycles from every frequent tree finds every frequent cyclic pattern.
+// Occurrence lists stay complete under dedup-keep-first because a
+// pattern's full projection derives from any one parent's full projection.
+func mineFreeTree(db graph.Database, opts Options) (pattern.Set, Stats) {
+	out := make(pattern.Set)
+	var stats Stats
+	minSup := opts.minSup()
+
+	emit := func(g *graph.Graph, proj extend.Projection) {
+		out.Add(&pattern.Pattern{
+			Code:    dfscode.MinCode(g),
+			Support: proj.Support(),
+			TIDs:    proj.TIDs(len(db)),
+		})
+	}
+
+	seenCyclic := make(map[string]bool)
+
+	// Phase seeds (Fig. 7 line 1): the frequent edges.
+	var level []treePat
+	for _, c := range extend.Initial(extend.DB(db), minSup) {
+		g := dfscode.Code{c.Edge}.Graph()
+		level = append(level, treePat{g: g, proj: c.Proj})
+		emit(g, c.Proj)
+		stats.Paths++
+	}
+
+	for len(level) > 0 {
+		seenTrees := make(map[string]bool)
+		var next []treePat
+		for _, t := range level {
+			// Cyclic phase branches off every acyclic pattern.
+			if t.g.VertexCount() >= 3 {
+				closeCycles(db, t, emit, &stats, minSup, opts.MaxEdges, seenCyclic)
+			}
+			if opts.MaxEdges != 0 && t.g.EdgeCount() >= opts.MaxEdges {
+				continue
+			}
+			// Leaf refinements: grow a new vertex from every pattern
+			// vertex, bucketing occurrences by (attach point, edge label,
+			// leaf label).
+			type leafKey struct{ pv, elabel, vlabel int }
+			buckets := make(map[leafKey]extend.Projection)
+			for _, m := range t.proj {
+				g := db[m.TID]
+				for pv, gv := range m.Verts {
+					for _, e := range g.Adj[gv] {
+						if embUses(m, e.To) {
+							continue
+						}
+						k := leafKey{pv, e.Label, g.Labels[e.To]}
+						nv := make([]int, len(m.Verts), len(m.Verts)+1)
+						copy(nv, m.Verts)
+						buckets[k] = append(buckets[k], extend.Embedding{TID: m.TID, Verts: append(nv, e.To)})
+					}
+				}
+			}
+			for k, proj := range buckets {
+				if proj.Support() < minSup {
+					continue
+				}
+				tg := t.g.Clone()
+				leaf := tg.AddVertex(k.vlabel)
+				tg.MustAddEdge(k.pv, leaf, k.elabel)
+				ck := treecode.Canonical(tg)
+				if seenTrees[ck] {
+					continue
+				}
+				seenTrees[ck] = true
+				emit(tg, proj)
+				if isPathGraph(tg) {
+					stats.Paths++
+				} else {
+					stats.Trees++
+				}
+				next = append(next, treePat{g: tg, proj: proj})
+			}
+		}
+		level = next
+	}
+	return out, stats
+}
+
+// closeCycles adds every frequent set of cycle-closing edges to the tree
+// pattern, depth first, deduplicating cyclic patterns by minimum DFS code.
+func closeCycles(db graph.Database, t treePat, emit func(*graph.Graph, extend.Projection),
+	stats *Stats, minSup, maxEdges int, seen map[string]bool) {
+	if maxEdges != 0 && t.g.EdgeCount() >= maxEdges {
+		return
+	}
+	type cycKey struct{ a, b, elabel int }
+	buckets := make(map[cycKey]extend.Projection)
+	n := t.g.VertexCount()
+	for _, m := range t.proj {
+		g := db[m.TID]
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if t.g.HasEdge(a, b) {
+					continue
+				}
+				if le, ok := g.EdgeLabel(m.Verts[a], m.Verts[b]); ok {
+					buckets[cycKey{a, b, le}] = append(buckets[cycKey{a, b, le}], m)
+				}
+			}
+		}
+	}
+	for k, proj := range buckets {
+		if proj.Support() < minSup {
+			continue
+		}
+		cg := t.g.Clone()
+		cg.MustAddEdge(k.a, k.b, k.elabel)
+		key := dfscode.MinCode(cg).Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		emit(cg, proj)
+		stats.Cyclic++
+		closeCycles(db, treePat{g: cg, proj: proj}, emit, stats, minSup, maxEdges, seen)
+	}
+}
+
+// isPathGraph reports whether every vertex has degree at most two (the
+// acyclic patterns here are connected by construction).
+func isPathGraph(g *graph.Graph) bool {
+	for v := 0; v < g.VertexCount(); v++ {
+		if g.Degree(v) > 2 {
+			return false
+		}
+	}
+	return true
+}

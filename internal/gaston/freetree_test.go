@@ -1,0 +1,93 @@
+package gaston
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+)
+
+func TestFreeTreeEngineMatchesGSpan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := graph.RandomDatabase(rng, 6, 5, 7, 2, 2)
+		minSup := 2 + rng.Intn(3)
+		want := gspan.Mine(db, gspan.Options{MinSupport: minSup, MaxEdges: 5})
+		got := Mine(db, Options{MinSupport: minSup, MaxEdges: 5, Engine: EngineFreeTree})
+		if !got.Equal(want) {
+			t.Logf("seed %d diff: %v", seed, got.Diff(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeTreeEngineMatchesDFSCodeEngineUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+	a := Mine(db, Options{MinSupport: 2})
+	b := Mine(db, Options{MinSupport: 2, Engine: EngineFreeTree})
+	if !a.Equal(b) {
+		t.Fatalf("engines disagree: %v", a.Diff(b))
+	}
+}
+
+func TestFreeTreeEngineStatsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	db := graph.RandomDatabase(rng, 8, 6, 8, 3, 2)
+	setA, statsA := MineWithStats(db, Options{MinSupport: 2, MaxEdges: 4})
+	setB, statsB := MineWithStats(db, Options{MinSupport: 2, MaxEdges: 4, Engine: EngineFreeTree})
+	if !setA.Equal(setB) {
+		t.Fatalf("engines disagree: %v", setA.Diff(setB))
+	}
+	// Phase classification is a property of the patterns, not the engine.
+	if statsA != statsB {
+		t.Errorf("stats disagree: dfscode %+v, freetree %+v", statsA, statsB)
+	}
+	if statsB.Total() != len(setB) {
+		t.Errorf("stats total %d != pattern count %d", statsB.Total(), len(setB))
+	}
+}
+
+func TestFreeTreeEngineSupportsAndTIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	db := graph.RandomDatabase(rng, 8, 6, 8, 3, 2)
+	got := Mine(db, Options{MinSupport: 3, MaxEdges: 3, Engine: EngineFreeTree})
+	want := gspan.Mine(db, gspan.Options{MinSupport: 3, MaxEdges: 3})
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+	for _, p := range got {
+		if p.TIDs == nil || p.TIDs.Count() != p.Support {
+			t.Errorf("pattern %s has inconsistent TIDs", p)
+		}
+	}
+}
+
+func TestFreeTreeEngineTriangleChain(t *testing.T) {
+	// Dense cyclic structure: two fused triangles (a "bowtie" diamond),
+	// stressing multi-cycle closing.
+	mk := func() *graph.Graph {
+		g := graph.New(0)
+		for i := 0; i < 4; i++ {
+			g.AddVertex(0)
+		}
+		g.MustAddEdge(0, 1, 0)
+		g.MustAddEdge(1, 2, 0)
+		g.MustAddEdge(2, 0, 0)
+		g.MustAddEdge(1, 3, 0)
+		g.MustAddEdge(2, 3, 0)
+		return g
+	}
+	db := graph.Database{mk(), mk()}
+	got := Mine(db, Options{MinSupport: 2, Engine: EngineFreeTree})
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2})
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+}

@@ -1,0 +1,171 @@
+// Package gaston implements a Gaston-flavored frequent-subgraph miner
+// (Nijssen & Kok, SIGKDD'04), the memory-based algorithm the paper plugs
+// into each unit (§4.2, Fig. 7). Gaston's "quickstart" observation is that
+// most frequent substructures in practice are free trees, so it enumerates
+// frequent paths and trees first with cheap acyclic extensions, and only
+// then closes cycles to reach cyclic graphs.
+//
+// This implementation keeps that phase structure faithfully:
+//
+//   - The acyclic phase grows patterns with forward (node refinement)
+//     extensions only, classifying each as path or tree.
+//   - At every acyclic pattern, the cyclic phase branches off via backward
+//     (cycle closing) extensions; once a pattern is cyclic, all extension
+//     kinds are allowed.
+//
+// Pattern identity and duplicate pruning use minimum DFS codes from
+// internal/dfscode rather than Gaston's free-tree normal forms; the output
+// is identical (differential tests against internal/gspan enforce this),
+// only constant factors differ.
+package gaston
+
+import (
+	"partminer/internal/dfscode"
+	"partminer/internal/extend"
+	"partminer/internal/graph"
+	"partminer/internal/pattern"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the absolute minimum number of supporting graphs.
+	// Values below 1 are treated as 1.
+	MinSupport int
+	// MaxEdges bounds the pattern size; 0 means unbounded.
+	MaxEdges int
+	// Engine selects the enumeration machinery; the zero value is
+	// EngineDFSCode. Both engines return identical pattern sets.
+	Engine Engine
+}
+
+func (o Options) minSup() int {
+	if o.MinSupport < 1 {
+		return 1
+	}
+	return o.MinSupport
+}
+
+// Stats reports how many frequent patterns each Gaston phase produced.
+// Paths and Trees partition the acyclic patterns (a path is a tree whose
+// vertices all have degree <= 2); Cyclic counts patterns with at least one
+// cycle-closing edge.
+type Stats struct {
+	Paths  int
+	Trees  int
+	Cyclic int
+}
+
+// Total returns the number of frequent patterns found.
+func (s Stats) Total() int { return s.Paths + s.Trees + s.Cyclic }
+
+// Mine returns every frequent connected subgraph of db with at least one
+// edge. The result is identical to gspan.Mine on the same inputs.
+func Mine(db graph.Database, opts Options) pattern.Set {
+	set, _ := MineWithStats(db, opts)
+	return set
+}
+
+// MineWithStats additionally reports the per-phase pattern counts.
+func MineWithStats(db graph.Database, opts Options) (pattern.Set, Stats) {
+	if opts.Engine == EngineFreeTree {
+		return mineFreeTree(db, opts)
+	}
+	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set)}
+	// Fig. 7 line 1: find all frequent edges; every frequent edge is a
+	// (trivial) path and the root of both phases.
+	for _, c := range extend.Initial(m.src, opts.minSup()) {
+		code := dfscode.Code{c.Edge}
+		m.emitAcyclic(code, c.Proj)
+		if opts.MaxEdges == 0 || opts.MaxEdges > 1 {
+			m.growAcyclic(code, c.Proj)
+		}
+	}
+	return m.out, m.stats
+}
+
+type miner struct {
+	src   extend.Source
+	opts  Options
+	out   pattern.Set
+	stats Stats
+}
+
+func (m *miner) emit(code dfscode.Code, proj extend.Projection) {
+	m.out.Add(&pattern.Pattern{
+		Code:    code.Clone(),
+		Support: proj.Support(),
+		TIDs:    proj.TIDs(m.src.Len()),
+	})
+}
+
+func (m *miner) emitAcyclic(code dfscode.Code, proj extend.Projection) {
+	m.emit(code, proj)
+	if isPathCode(code) {
+		m.stats.Paths++
+	} else {
+		m.stats.Trees++
+	}
+}
+
+// growAcyclic is the path/tree phase: forward-only growth keeps the
+// pattern a free tree, and each node also branches into the cyclic phase
+// through backward extensions (Fig. 7 lines 7-14: node refinements find
+// paths and trees, other extensions find cyclic graphs).
+func (m *miner) growAcyclic(code dfscode.Code, proj extend.Projection) {
+	for _, cand := range extend.Extensions(m.src, code, proj, false) {
+		if cand.Proj.Support() < m.opts.minSup() {
+			continue
+		}
+		child := append(code.Clone(), cand.Edge)
+		if !dfscode.IsCanonical(child) {
+			continue
+		}
+		if cand.Edge.Forward() {
+			// Node refinement: still a tree.
+			m.emitAcyclic(child, cand.Proj)
+			if m.opts.MaxEdges == 0 || len(child) < m.opts.MaxEdges {
+				m.growAcyclic(child, cand.Proj)
+			}
+		} else {
+			// Cycle-closing edge: hand off to the cyclic phase.
+			m.emit(child, cand.Proj)
+			m.stats.Cyclic++
+			if m.opts.MaxEdges == 0 || len(child) < m.opts.MaxEdges {
+				m.growCyclic(child, cand.Proj)
+			}
+		}
+	}
+}
+
+// growCyclic extends cyclic patterns; every frequent canonical extension
+// stays cyclic (a graph never loses its cycle by growing).
+func (m *miner) growCyclic(code dfscode.Code, proj extend.Projection) {
+	for _, cand := range extend.Extensions(m.src, code, proj, false) {
+		if cand.Proj.Support() < m.opts.minSup() {
+			continue
+		}
+		child := append(code.Clone(), cand.Edge)
+		if !dfscode.IsCanonical(child) {
+			continue
+		}
+		m.emit(child, cand.Proj)
+		m.stats.Cyclic++
+		if m.opts.MaxEdges == 0 || len(child) < m.opts.MaxEdges {
+			m.growCyclic(child, cand.Proj)
+		}
+	}
+}
+
+// isPathCode reports whether the (acyclic) code is a simple path: every
+// vertex has degree at most two.
+func isPathCode(code dfscode.Code) bool {
+	deg := make([]int, code.VertexCount())
+	for _, e := range code {
+		deg[e.I]++
+		deg[e.J]++
+		if deg[e.I] > 2 || deg[e.J] > 2 {
+			return false
+		}
+	}
+	return true
+}

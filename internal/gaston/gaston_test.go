@@ -1,0 +1,147 @@
+package gaston
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+	"partminer/internal/pattern"
+)
+
+func TestMineMatchesGSpan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := graph.RandomDatabase(rng, 6, 5, 7, 2, 2)
+		minSup := 2 + rng.Intn(3)
+		want := gspan.Mine(db, gspan.Options{MinSupport: minSup, MaxEdges: 5})
+		got := Mine(db, Options{MinSupport: minSup, MaxEdges: 5})
+		if !got.Equal(want) {
+			t.Logf("seed %d diff: %v", seed, got.Diff(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+	want := pattern.BruteForce(db, 2, 4)
+	got := Mine(db, Options{MinSupport: 2, MaxEdges: 4})
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+}
+
+func TestStatsClassification(t *testing.T) {
+	// A database of triangles with a pendant vertex: frequent patterns
+	// include paths (the edges and 2-paths), one star-free tree phase, and
+	// the triangle as a cyclic pattern.
+	mk := func() *graph.Graph {
+		g := graph.New(0)
+		g.AddVertex(0)
+		g.AddVertex(0)
+		g.AddVertex(0)
+		g.AddVertex(1)
+		g.MustAddEdge(0, 1, 0)
+		g.MustAddEdge(1, 2, 0)
+		g.MustAddEdge(2, 0, 0)
+		g.MustAddEdge(0, 3, 1)
+		return g
+	}
+	db := graph.Database{mk(), mk()}
+	set, stats := MineWithStats(db, Options{MinSupport: 2})
+	if stats.Total() != len(set) {
+		t.Errorf("stats total %d != pattern count %d", stats.Total(), len(set))
+	}
+	if stats.Cyclic == 0 {
+		t.Error("triangle database should yield cyclic patterns")
+	}
+	if stats.Paths == 0 {
+		t.Error("expected path patterns")
+	}
+	if stats.Trees == 0 {
+		t.Error("expected branching tree patterns (triangle edge + pendant)")
+	}
+	// Verify classification against the actual pattern structures.
+	var paths, trees, cyclic int
+	for _, p := range set {
+		g := p.Code.Graph()
+		hasCycle := g.EdgeCount() >= g.VertexCount()
+		if hasCycle {
+			cyclic++
+			continue
+		}
+		isPath := true
+		for v := 0; v < g.VertexCount(); v++ {
+			if g.Degree(v) > 2 {
+				isPath = false
+			}
+		}
+		if isPath {
+			paths++
+		} else {
+			trees++
+		}
+	}
+	if paths != stats.Paths || trees != stats.Trees || cyclic != stats.Cyclic {
+		t.Errorf("stats = %+v; recount = {%d %d %d}", stats, paths, trees, cyclic)
+	}
+}
+
+func TestTreeOnlyDatabaseHasNoCyclicPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var db graph.Database
+	for i := 0; i < 6; i++ {
+		g := graph.RandomConnected(rng, i, 6, 5, 2, 2) // m = n-1: a tree
+		db = append(db, g)
+	}
+	set, stats := MineWithStats(db, Options{MinSupport: 2})
+	if stats.Cyclic != 0 {
+		t.Errorf("tree database produced %d cyclic patterns", stats.Cyclic)
+	}
+	for _, p := range set {
+		if len(p.Code) >= p.Code.VertexCount() {
+			t.Errorf("cyclic pattern %s mined from tree database", p.Code)
+		}
+	}
+}
+
+func TestIsPathCode(t *testing.T) {
+	p := dfscode.Code{
+		{I: 0, J: 1, LI: 0, LE: 0, LJ: 0},
+		{I: 1, J: 2, LI: 0, LE: 0, LJ: 0},
+	}
+	if !isPathCode(p) {
+		t.Error("2-edge chain should be a path")
+	}
+	star := dfscode.Code{
+		{I: 0, J: 1, LI: 0, LE: 0, LJ: 0},
+		{I: 0, J: 2, LI: 0, LE: 0, LJ: 0},
+		{I: 0, J: 3, LI: 0, LE: 0, LJ: 0},
+	}
+	if isPathCode(star) {
+		t.Error("star should not be a path")
+	}
+}
+
+func TestMaxEdgesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := graph.RandomDatabase(rng, 5, 6, 9, 2, 2)
+	got := Mine(db, Options{MinSupport: 2, MaxEdges: 3})
+	for _, p := range got {
+		if p.Size() > 3 {
+			t.Errorf("pattern %s exceeds MaxEdges", p)
+		}
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 3})
+	if !got.Equal(want) {
+		t.Fatalf("diff vs gspan: %v", got.Diff(want))
+	}
+}

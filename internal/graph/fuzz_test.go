@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDatabase checks that the text parser never panics on arbitrary
+// input and that everything it accepts round-trips stably.
+func FuzzReadDatabase(f *testing.F) {
+	f.Add("t # 0\nv 0 1\nv 1 2\ne 0 1 3\n")
+	f.Add("t # 1\nv 0 5 2.5\n")
+	f.Add("% comment\n\nt # 2\n")
+	f.Add("t # 0\nv 0 1\ne 0 0 1\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		db, err := ReadDatabase(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var sb strings.Builder
+		if err := WriteDatabase(&sb, db); err != nil {
+			t.Fatalf("accepted database failed to serialize: %v", err)
+		}
+		back, err := ReadDatabase(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reserialized database failed to parse: %v", err)
+		}
+		if len(back) != len(db) {
+			t.Fatalf("round trip changed graph count: %d -> %d", len(db), len(back))
+		}
+		for i := range db {
+			if !back[i].Equal(db[i]) {
+				t.Fatalf("round trip changed graph %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package graph
+
+import "math/rand"
+
+// RandomConnected generates a random connected graph with n vertices and
+// approximately m edges (at least n-1 for the spanning tree; at most the
+// complete-graph bound), using vLabels distinct vertex labels and eLabels
+// distinct edge labels. It is used by tests and the ablation benchmarks;
+// the full paper-parameterized generator lives in internal/datagen.
+func RandomConnected(rng *rand.Rand, id, n, m, vLabels, eLabels int) *Graph {
+	if n <= 0 {
+		return New(id)
+	}
+	g := New(id)
+	for i := 0; i < n; i++ {
+		g.AddVertex(rng.Intn(vLabels))
+	}
+	// Random spanning tree: connect each vertex i>0 to a random earlier one.
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(rng.Intn(i), i, rng.Intn(eLabels))
+	}
+	if max := n * (n - 1) / 2; m > max {
+		m = max
+	}
+	for g.EdgeCount() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, rng.Intn(eLabels))
+	}
+	return g
+}
+
+// RandomDatabase builds a database of count random connected graphs with
+// the given per-graph shape parameters.
+func RandomDatabase(rng *rand.Rand, count, n, m, vLabels, eLabels int) Database {
+	db := make(Database, count)
+	for i := range db {
+		db[i] = RandomConnected(rng, i, n, m, vLabels, eLabels)
+	}
+	return db
+}

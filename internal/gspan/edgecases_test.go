@@ -1,0 +1,56 @@
+package gspan
+
+import (
+	"testing"
+
+	"partminer/internal/graph"
+	"partminer/internal/pattern"
+)
+
+// TestMineWithEmptyAndDisconnectedGraphs mirrors what unit databases look
+// like after partitioning: some entries are empty (a graph whose vertices
+// all fell on the other side) and some are disconnected (a side plus
+// detached connective-edge endpoints). Miners must handle both.
+func TestMineWithEmptyAndDisconnectedGraphs(t *testing.T) {
+	empty := graph.New(0)
+
+	lone := graph.New(1) // single vertex, no edges
+	lone.AddVertex(3)
+
+	disc := graph.New(2) // two components
+	disc.AddVertex(0)
+	disc.AddVertex(0)
+	disc.AddVertex(1)
+	disc.AddVertex(1)
+	disc.MustAddEdge(0, 1, 5)
+	disc.MustAddEdge(2, 3, 6)
+
+	full := graph.New(3)
+	full.AddVertex(0)
+	full.AddVertex(0)
+	full.AddVertex(1)
+	full.AddVertex(1)
+	full.MustAddEdge(0, 1, 5)
+	full.MustAddEdge(2, 3, 6)
+	full.MustAddEdge(1, 2, 7)
+
+	db := graph.Database{empty, lone, disc, full}
+	got := Mine(db, Options{MinSupport: 2})
+	want := pattern.BruteForce(graph.Database{empty, lone, disc, full}, 2, 3)
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+	// The 0-0 edge (label 5) and 1-1 edge (label 6) appear in both disc
+	// and full.
+	if len(got) != 2 {
+		t.Errorf("got %d patterns; want the two shared edges", len(got))
+	}
+	for _, p := range got {
+		if p.Support != 2 {
+			t.Errorf("pattern %s support %d; want 2", p.Code, p.Support)
+		}
+		if p.TIDs.Contains(0) || p.TIDs.Contains(1) {
+			t.Errorf("pattern %s claims support from edgeless graphs", p.Code)
+		}
+	}
+}

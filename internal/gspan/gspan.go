@@ -1,0 +1,78 @@
+// Package gspan implements the gSpan frequent-subgraph miner (Yan & Han,
+// ICDM'02): depth-first pattern growth along rightmost-path extensions with
+// minimum-DFS-code canonicality pruning and projected embedding lists.
+//
+// gSpan is the correctness reference for every other miner in this
+// repository: it is simple, complete, and exact. The Gaston-flavored miner
+// in internal/gaston is what PartMiner plugs into units, per the paper's
+// §4.2; differential tests require the two to agree.
+package gspan
+
+import (
+	"partminer/internal/dfscode"
+	"partminer/internal/extend"
+	"partminer/internal/graph"
+	"partminer/internal/pattern"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the absolute minimum number of supporting graphs.
+	// Values below 1 are treated as 1.
+	MinSupport int
+	// MaxEdges bounds the pattern size; 0 means unbounded.
+	MaxEdges int
+}
+
+func (o Options) minSup() int {
+	if o.MinSupport < 1 {
+		return 1
+	}
+	return o.MinSupport
+}
+
+// Mine returns every frequent connected subgraph of db with at least one
+// edge, keyed by canonical DFS code, with supports and supporting TIDs.
+func Mine(db graph.Database, opts Options) pattern.Set {
+	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set)}
+	for _, c := range extend.Initial(m.src, opts.minSup()) {
+		code := dfscode.Code{c.Edge}
+		m.emit(code, c.Proj)
+		if opts.MaxEdges == 0 || opts.MaxEdges > 1 {
+			m.grow(code, c.Proj)
+		}
+	}
+	return m.out
+}
+
+type miner struct {
+	src  extend.Source
+	opts Options
+	out  pattern.Set
+}
+
+func (m *miner) emit(code dfscode.Code, proj extend.Projection) {
+	m.out.Add(&pattern.Pattern{
+		Code:    code.Clone(),
+		Support: proj.Support(),
+		TIDs:    proj.TIDs(m.src.Len()),
+	})
+}
+
+// grow extends a canonical frequent code by every frequent canonical
+// rightmost-path extension, depth first.
+func (m *miner) grow(code dfscode.Code, proj extend.Projection) {
+	for _, cand := range extend.Extensions(m.src, code, proj, false) {
+		if cand.Proj.Support() < m.opts.minSup() {
+			continue
+		}
+		child := append(code.Clone(), cand.Edge)
+		if !dfscode.IsCanonical(child) {
+			continue
+		}
+		m.emit(child, cand.Proj)
+		if m.opts.MaxEdges == 0 || len(child) < m.opts.MaxEdges {
+			m.grow(child, cand.Proj)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package gspan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/graph"
+	"partminer/internal/isomorph"
+	"partminer/internal/pattern"
+)
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+		minSup := 2 + rng.Intn(3)
+		want := pattern.BruteForce(db, minSup, 4)
+		got := Mine(db, Options{MinSupport: minSup, MaxEdges: 4})
+		if !got.Equal(want) {
+			t.Logf("seed %d diff: %v", seed, got.Diff(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineUnboundedMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := graph.RandomDatabase(rng, 5, 4, 4, 2, 2)
+	want := pattern.BruteForce(db, 2, 4) // graphs have exactly 4 edges
+	got := Mine(db, Options{MinSupport: 2})
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+}
+
+func TestMineSupportsAndTIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := graph.RandomDatabase(rng, 8, 6, 8, 3, 2)
+	got := Mine(db, Options{MinSupport: 3, MaxEdges: 3})
+	if len(got) == 0 {
+		t.Fatal("expected patterns")
+	}
+	for _, p := range got {
+		if s := isomorph.Support(db, p.Code.Graph()); s != p.Support {
+			t.Errorf("%s: support %d, recount %d", p.Code, p.Support, s)
+		}
+		if p.TIDs.Count() != p.Support {
+			t.Errorf("%s: TID count mismatch", p.Code)
+		}
+		for _, tid := range p.TIDs.Slice() {
+			if !isomorph.Contains(db[tid], p.Code.Graph()) {
+				t.Errorf("%s: tid %d does not contain pattern", p.Code, tid)
+			}
+		}
+	}
+}
+
+func TestMineRespectsMaxEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := graph.RandomDatabase(rng, 5, 6, 9, 2, 2)
+	got := Mine(db, Options{MinSupport: 2, MaxEdges: 2})
+	for _, p := range got {
+		if p.Size() > 2 {
+			t.Errorf("pattern %s exceeds MaxEdges", p)
+		}
+	}
+	one := Mine(db, Options{MinSupport: 2, MaxEdges: 1})
+	for _, p := range one {
+		if p.Size() != 1 {
+			t.Errorf("MaxEdges=1 returned %s", p)
+		}
+	}
+}
+
+func TestMineEmptyAndTrivial(t *testing.T) {
+	if got := Mine(nil, Options{MinSupport: 1}); len(got) != 0 {
+		t.Errorf("mining empty db returned %v", got)
+	}
+	g := graph.New(0)
+	g.AddVertex(1)
+	if got := Mine(graph.Database{g}, Options{MinSupport: 1}); len(got) != 0 {
+		t.Errorf("edgeless graph produced patterns %v", got)
+	}
+	g2 := graph.New(0)
+	g2.AddVertex(1)
+	g2.AddVertex(2)
+	g2.MustAddEdge(0, 1, 5)
+	got := Mine(graph.Database{g2}, Options{MinSupport: 1})
+	if len(got) != 1 {
+		t.Fatalf("single edge db: got %d patterns; want 1", len(got))
+	}
+	for _, p := range got {
+		if p.Support != 1 || p.Size() != 1 {
+			t.Errorf("unexpected pattern %s", p)
+		}
+	}
+}
+
+func TestMineMinSupportBelowOne(t *testing.T) {
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	got := Mine(graph.Database{g}, Options{MinSupport: 0})
+	if len(got) != 1 {
+		t.Errorf("MinSupport 0 should clamp to 1; got %d patterns", len(got))
+	}
+}
+
+func TestMineIdenticalGraphs(t *testing.T) {
+	// n copies of the same graph: every subgraph has support n.
+	rng := rand.New(rand.NewSource(21))
+	base := graph.RandomConnected(rng, 0, 5, 6, 2, 2)
+	db := graph.Database{base, base.Clone(), base.Clone(), base.Clone()}
+	got := Mine(db, Options{MinSupport: 4, MaxEdges: 3})
+	if len(got) == 0 {
+		t.Fatal("expected patterns in identical-graph db")
+	}
+	for _, p := range got {
+		if p.Support != 4 {
+			t.Errorf("%s: support %d; want 4", p.Code, p.Support)
+		}
+	}
+	// Raising support above n kills everything.
+	if got := Mine(db, Options{MinSupport: 5, MaxEdges: 3}); len(got) != 0 {
+		t.Errorf("support 5 of 4 graphs should mine nothing, got %d", len(got))
+	}
+}

@@ -1,0 +1,235 @@
+// Package isomorph provides subgraph-isomorphism testing, embedding
+// enumeration, and support counting for labeled undirected graphs — the
+// frequency-checking primitive behind the merge-join operation (paper
+// §4.3) and every miner's support counter.
+//
+// Matching is VF2-flavored backtracking: pattern vertices are matched in a
+// connectivity-preserving order so that every vertex after the first is
+// adjacent to an already-matched one, which lets each candidate be checked
+// purely against its mapped neighbors. Label and degree filters prune the
+// candidate sets. Matching is ordinary subgraph isomorphism (the target may
+// have extra edges between mapped vertices), matching the paper's
+// definition of supergraph.
+package isomorph
+
+import "partminer/internal/graph"
+
+// matchOrder returns an order over pattern vertices such that each vertex
+// after the first is adjacent to an earlier one, starting from the vertex
+// with the highest degree (fail-fast). The pattern must be connected.
+func matchOrder(p *graph.Graph) []int {
+	n := p.VertexCount()
+	if n == 0 {
+		return nil
+	}
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	order = append(order, start)
+	inOrder[start] = true
+	for len(order) < n {
+		// Pick the unmatched vertex with the most already-ordered
+		// neighbors (most constrained first), breaking ties by degree.
+		best, bestConn := -1, -1
+		for v := 0; v < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			conn := 0
+			for _, e := range p.Adj[v] {
+				if inOrder[e.To] {
+					conn++
+				}
+			}
+			if conn == 0 {
+				continue
+			}
+			if conn > bestConn || (conn == bestConn && p.Degree(v) > p.Degree(best)) {
+				best, bestConn = v, conn
+			}
+		}
+		if best == -1 {
+			// Disconnected pattern; callers are expected to pass connected
+			// patterns, but fall back to any remaining vertex so matching
+			// degenerates gracefully (it will simply never match edges to
+			// the isolated part).
+			for v := 0; v < n; v++ {
+				if !inOrder[v] {
+					best = v
+					break
+				}
+			}
+		}
+		order = append(order, best)
+		inOrder[best] = true
+	}
+	return order
+}
+
+type matcher struct {
+	p, t    *graph.Graph
+	order   []int
+	mapping []int  // pattern vertex -> target vertex, -1 if unmapped
+	used    []bool // target vertex already used
+}
+
+func newMatcher(target, pattern *graph.Graph) *matcher {
+	m := &matcher{
+		p:       pattern,
+		t:       target,
+		order:   matchOrder(pattern),
+		mapping: make([]int, pattern.VertexCount()),
+		used:    make([]bool, target.VertexCount()),
+	}
+	for i := range m.mapping {
+		m.mapping[i] = -1
+	}
+	return m
+}
+
+// feasible reports whether mapping pattern vertex pv to target vertex tv is
+// consistent with the current partial mapping.
+func (m *matcher) feasible(pv, tv int) bool {
+	if m.used[tv] || m.p.Labels[pv] != m.t.Labels[tv] || m.t.Degree(tv) < m.p.Degree(pv) {
+		return false
+	}
+	for _, e := range m.p.Adj[pv] {
+		mt := m.mapping[e.To]
+		if mt == -1 {
+			continue
+		}
+		if l, ok := m.t.EdgeLabel(tv, mt); !ok || l != e.Label {
+			return false
+		}
+	}
+	return true
+}
+
+// match recursively extends the mapping from position idx in the match
+// order. visit is called with the complete mapping; returning false stops
+// the search.
+func (m *matcher) match(idx int, visit func(mapping []int) bool) bool {
+	if idx == len(m.order) {
+		return visit(m.mapping)
+	}
+	pv := m.order[idx]
+	// Candidates: if pv has a mapped neighbor, only that neighbor's target
+	// adjacency needs scanning; otherwise scan all target vertices.
+	var anchor, anchorLabel = -1, 0
+	for _, e := range m.p.Adj[pv] {
+		if mt := m.mapping[e.To]; mt != -1 {
+			anchor, anchorLabel = mt, e.Label
+			break
+		}
+	}
+	if anchor != -1 {
+		for _, te := range m.t.Adj[anchor] {
+			if te.Label != anchorLabel {
+				continue
+			}
+			tv := te.To
+			if !m.feasible(pv, tv) {
+				continue
+			}
+			m.mapping[pv] = tv
+			m.used[tv] = true
+			cont := m.match(idx+1, visit)
+			m.mapping[pv] = -1
+			m.used[tv] = false
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	for tv := 0; tv < m.t.VertexCount(); tv++ {
+		if !m.feasible(pv, tv) {
+			continue
+		}
+		m.mapping[pv] = tv
+		m.used[tv] = true
+		cont := m.match(idx+1, visit)
+		m.mapping[pv] = -1
+		m.used[tv] = false
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether pattern is subgraph-isomorphic to target, i.e.
+// target is a supergraph of pattern in the paper's terminology. The empty
+// pattern is contained in every graph.
+func Contains(target, pattern *graph.Graph) bool {
+	if pattern.VertexCount() == 0 {
+		return true
+	}
+	if pattern.VertexCount() > target.VertexCount() || pattern.EdgeCount() > target.EdgeCount() {
+		return false
+	}
+	found := false
+	newMatcher(target, pattern).match(0, func([]int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Embeddings returns every subgraph-isomorphic embedding of pattern in
+// target as pattern→target vertex mappings. Distinct mappings that cover
+// the same target subgraph (automorphic images) are all reported.
+func Embeddings(target, pattern *graph.Graph) [][]int {
+	if pattern.VertexCount() == 0 {
+		return nil
+	}
+	var out [][]int
+	newMatcher(target, pattern).match(0, func(mapping []int) bool {
+		out = append(out, append([]int(nil), mapping...))
+		return true
+	})
+	return out
+}
+
+// CountEmbeddings returns the number of embeddings of pattern in target.
+func CountEmbeddings(target, pattern *graph.Graph) int {
+	n := 0
+	if pattern.VertexCount() == 0 {
+		return 0
+	}
+	newMatcher(target, pattern).match(0, func([]int) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Support returns the number of graphs in db that contain pattern.
+func Support(db graph.Database, pattern *graph.Graph) int {
+	n := 0
+	for _, g := range db {
+		if Contains(g, pattern) {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportIn counts support only over the transaction ids in tids, which
+// must be valid indexes into db. Candidate patterns produced by a join can
+// only occur where both parents occur, so merge-join restricts counting to
+// the parents' TID intersection.
+func SupportIn(db graph.Database, pattern *graph.Graph, tids []int) int {
+	n := 0
+	for _, tid := range tids {
+		if Contains(db[tid], pattern) {
+			n++
+		}
+	}
+	return n
+}

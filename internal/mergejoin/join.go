@@ -1,0 +1,183 @@
+package mergejoin
+
+import (
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+	"partminer/internal/isomorph"
+	"partminer/internal/pattern"
+)
+
+// core is a (k−1)-edge subgraph of a k-edge pattern, obtained by removing
+// one edge and any isolated vertex. Cores are the shared substructures the
+// paper's Join aligns patterns on.
+type core struct {
+	pg   *graph.Graph // the full pattern graph the core came from
+	g    *graph.Graph // the core itself
+	orig []int        // core vertex -> pg vertex
+	ru   int          // removed edge endpoints in pg ids
+	rv   int
+	rl   int // removed edge label
+}
+
+// coresOf returns the pattern's graph and its connected cores grouped by
+// canonical code.
+func coresOf(p *pattern.Pattern) (*graph.Graph, map[string][]core) {
+	g := p.Code.Graph()
+	cs := make(map[string][]core)
+	for u := 0; u < g.VertexCount(); u++ {
+		for _, e := range g.Adj[u] {
+			if u > e.To {
+				continue
+			}
+			cg, orig := coreWithoutEdge(g, u, e.To)
+			if cg == nil {
+				continue
+			}
+			key := dfscode.MinCode(cg).Key()
+			cs[key] = append(cs[key], core{pg: g, g: cg, orig: orig, ru: u, rv: e.To, rl: e.Label})
+		}
+	}
+	return g, cs
+}
+
+// FSGJoin exposes the pairwise shared-core join for external callers (the
+// FSG baseline miner): it returns every (k+1)-edge candidate obtained by
+// joining a pattern of a with a pattern of b, keyed by canonical DFS-code
+// key.
+func FSGJoin(a, b []*pattern.Pattern) map[string]*graph.Graph {
+	cands := make(map[string]*candidate)
+	joinSets(cands, a, b)
+	out := make(map[string]*graph.Graph, len(cands))
+	for key, c := range cands {
+		out[key] = c.g
+	}
+	return out
+}
+
+// joinSets runs the paper's Join over every pattern pair of a × b, adding
+// the (k+1)-edge candidates to cands. Two k-edge patterns join when they
+// share a common (k−1)-edge core; the joined candidate glues the second
+// pattern's removed edge onto the first pattern through a core isomorphism
+// (the FSG join of Kuramochi & Karypis, which the paper's "join on the
+// common connective edges" example in Fig. 8 instantiates).
+func joinSets(cands map[string]*candidate, a, b []*pattern.Pattern) {
+	type bEntry struct {
+		cores map[string][]core
+	}
+	bs := make([]bEntry, 0, len(b))
+	for _, pb := range b {
+		_, cs := coresOf(pb)
+		bs = append(bs, bEntry{cores: cs})
+	}
+	for _, pa := range a {
+		ga, coresA := coresOf(pa)
+		for _, be := range bs {
+			for key, cbs := range be.cores {
+				for _, ca := range coresA[key] {
+					for _, cb := range cbs {
+						glue(cands, ga, ca, cb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// glue maps cb's core onto ca's core by every isomorphism and re-attaches
+// cb's removed edge to ca's pattern graph ga, yielding candidates with one
+// extra edge. An endpoint of the removed edge that is not part of cb's
+// core (the removal isolated it) is ambiguous: it may be a genuinely new
+// vertex of the candidate, or it may coincide with any label-compatible
+// existing vertex of ga — Kuramochi & Karypis's join generates every
+// variant, and the frequency check later discards the spurious ones.
+// Missing the identification variants loses cycle-closing candidates
+// (e.g. the triangle from two 2-edge paths).
+func glue(cands map[string]*candidate, ga *graph.Graph, ca, cb core) {
+	// cb core vertex -> cb pattern vertex reverse lookup.
+	toCore := make(map[int]int, len(cb.orig))
+	for cv, pv := range cb.orig {
+		toCore[pv] = cv
+	}
+	for _, iso := range isomorph.Embeddings(ca.g, cb.g) {
+		// Map an endpoint of cb's removed edge into ga. Endpoints that
+		// survived in cb's core travel through the isomorphism; a dropped
+		// endpoint yields -1 (resolved to variants below).
+		mapEndpoint := func(pv int) (gaVertex int, dropped bool) {
+			if cv, ok := toCore[pv]; ok {
+				return ca.orig[iso[cv]], false
+			}
+			return -1, true
+		}
+		u, uDropped := mapEndpoint(cb.ru)
+		v, vDropped := mapEndpoint(cb.rv)
+		if uDropped && vDropped {
+			continue // impossible for connected patterns with >= 2 edges
+		}
+		emit := func(u, v int, newLabel int, attachNew bool) {
+			ng := ga.Clone()
+			if attachNew {
+				nv := ng.AddVertex(newLabel)
+				if u == -1 {
+					u = nv
+				} else {
+					v = nv
+				}
+			}
+			if u == v || ng.HasEdge(u, v) {
+				return
+			}
+			ng.MustAddEdge(u, v, cb.rl)
+			addCandidate(cands, ng, nil)
+		}
+		switch {
+		case !uDropped && !vDropped:
+			emit(u, v, 0, false)
+		case uDropped:
+			label := cb.pg.Labels[cb.ru]
+			emit(-1, v, label, true)
+			for w := 0; w < ga.VertexCount(); w++ {
+				if ga.Labels[w] == label && w != v {
+					emit(w, v, 0, false)
+				}
+			}
+		default: // vDropped
+			label := cb.pg.Labels[cb.rv]
+			emit(u, -1, label, true)
+			for w := 0; w < ga.VertexCount(); w++ {
+				if ga.Labels[w] == label && w != u {
+					emit(u, w, 0, false)
+				}
+			}
+		}
+	}
+}
+
+// coreWithoutEdge is removeEdge but additionally returns the core→pattern
+// vertex mapping needed to glue joins.
+func coreWithoutEdge(g *graph.Graph, u, v int) (*graph.Graph, []int) {
+	sub := graph.New(g.ID)
+	var orig []int
+	remap := make([]int, g.VertexCount())
+	for i := range remap {
+		remap[i] = -1
+	}
+	add := func(w int) int {
+		if remap[w] == -1 {
+			remap[w] = sub.AddVertex(g.Labels[w])
+			orig = append(orig, w)
+		}
+		return remap[w]
+	}
+	for a := 0; a < g.VertexCount(); a++ {
+		for _, e := range g.Adj[a] {
+			if a > e.To || (a == u && e.To == v) {
+				continue
+			}
+			sub.MustAddEdge(add(a), add(e.To), e.Label)
+		}
+	}
+	if sub.EdgeCount() == 0 || !sub.Connected() {
+		return nil, nil
+	}
+	return sub, orig
+}

@@ -1,0 +1,511 @@
+// Package mergejoin implements the paper's merge-join operation (§4.3,
+// Fig. 11 Procedure MergeJoin): recovering the complete set of frequent
+// subgraphs of a dataset S from the frequent sets mined in its two
+// partitions S0 and S1, level by level on pattern size.
+//
+// Candidate generation has two modes:
+//
+//   - Extension mode (default): every frequent k-pattern of S is extended
+//     by one edge whose label triple is frequent, followed by full Apriori
+//     pruning. This is provably complete: any frequent (k+1)-pattern minus
+//     a spanning-tree leaf edge is a connected frequent k-pattern.
+//   - StrictPaper mode: the paper's pairwise joins, C³ = Join(P²(S0),
+//     P²(S1)) and, for k ≥ 3, C1 = Join(Pᵏ(S0), Fᵏ), C2 = Join(Pᵏ(S1),
+//     Fᵏ), C3 = Join(Fᵏ, Fᵏ), with the FSG-style shared-(k−1)-core join.
+//
+// Both modes verify candidates against S with exact support counting; unit
+// patterns contribute their supporting transactions as pre-verified
+// occurrences (a pattern contained in a partition piece is contained in
+// the original graph), so isomorphism tests run only on the residual
+// transactions in the candidates' Apriori TID intersection.
+package mergejoin
+
+import (
+	"sync"
+
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+	"partminer/internal/isomorph"
+	"partminer/internal/pattern"
+)
+
+// Config controls one merge-join.
+type Config struct {
+	// MinSupport is the absolute support threshold applied against S.
+	MinSupport int
+	// MaxEdges bounds recovered pattern size; 0 means unbounded.
+	MaxEdges int
+	// StrictPaper switches candidate generation to the paper's literal
+	// C1/C2/C3 pairwise joins instead of extension generation.
+	StrictPaper bool
+
+	// Old and Updated switch Merge into IncMergeJoin mode (Fig. 12): Old
+	// is the pre-update frequent set of the same dataset (with exact
+	// TIDs) and Updated marks the transactions whose graphs changed.
+	// Supporters of an old pattern among unchanged transactions carry
+	// over without isomorphism tests; only updated transactions are
+	// rechecked. Patterns absent from Old (the potential IF set) are
+	// verified in full.
+	Old     pattern.Set
+	Updated *pattern.TIDSet
+
+	// Workers > 1 verifies candidates concurrently (candidate checks are
+	// independent given the previous level's read-only pattern set).
+	Workers int
+
+	// Stats, when non-nil, accumulates counters about the merge.
+	Stats *Stats
+}
+
+// Stats describes how much work one or more merges performed.
+type Stats struct {
+	// Candidates counts distinct candidates entering verification.
+	Candidates int64
+	// UnitSeeded counts candidates that arrived from unit results with
+	// pre-verified supporters.
+	UnitSeeded int64
+	// Pruned counts candidates eliminated by Apriori pruning or the TID
+	// intersection bound, before any isomorphism test.
+	Pruned int64
+	// IsoTests counts subgraph-isomorphism invocations.
+	IsoTests int64
+	// CarriedTIDs counts supporters accepted from pre-update results
+	// without re-testing (incremental mode).
+	CarriedTIDs int64
+	// Frequent counts candidates that passed verification.
+	Frequent int64
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Candidates += o.Candidates
+	s.UnitSeeded += o.UnitSeeded
+	s.Pruned += o.Pruned
+	s.IsoTests += o.IsoTests
+	s.CarriedTIDs += o.CarriedTIDs
+	s.Frequent += o.Frequent
+}
+
+func (c Config) minSup() int {
+	if c.MinSupport < 1 {
+		return 1
+	}
+	return c.MinSupport
+}
+
+// Merge recovers the frequent subgraphs of s given the frequent sets p0
+// and p1 mined (at reduced support) from the two partition databases whose
+// entry i is a piece of s[i]. Transaction ids in p0/p1 must refer to the
+// shared index space.
+func Merge(s graph.Database, p0, p1 pattern.Set, cfg Config) pattern.Set {
+	minSup := cfg.minSup()
+	result := make(pattern.Set)
+
+	by0, by1 := p0.BySize(), p1.BySize()
+	sized := func(by [][]*pattern.Pattern, k int) []*pattern.Pattern {
+		if k < len(by) {
+			return by[k]
+		}
+		return nil
+	}
+
+	// Level 1 (Fig. 11 line 1): exact scan of S for frequent 1-edge
+	// patterns. Unit supports undercount S (an edge pattern may be
+	// sub-threshold in one unit), so the scan is authoritative.
+	cur := frequentEdges(s, minSup)
+	for k, p := range cur {
+		result[k] = p
+	}
+
+	// fset tracks Fᵏ — the joined (spanning) patterns — for the paper's
+	// join bookkeeping. At level 1 it is empty (the paper starts joins at
+	// the 2-edge level).
+	fset := make(map[string]bool)
+
+	for k := 1; len(cur) > 0 && (cfg.MaxEdges == 0 || k < cfg.MaxEdges); k++ {
+		cands := make(map[string]*candidate)
+
+		// Unit patterns of size k+1 enter the pool with their unit TIDs as
+		// pre-verified supporters (Fig. 11 line 8: Pᵏ(S0) ∪ Pᵏ(S1) join
+		// the merged level directly).
+		for _, p := range sized(by0, k+1) {
+			addUnitCandidate(cands, p, len(s))
+		}
+		for _, p := range sized(by1, k+1) {
+			addUnitCandidate(cands, p, len(s))
+		}
+
+		if cfg.StrictPaper {
+			switch k {
+			case 1:
+				// Paper line 4: P²(S) = P²(S0) ∪ P²(S1); no join.
+			case 2:
+				// Paper line 5: C³ = Join(P²(S0), P²(S1)).
+				joinSets(cands, sized(by0, 2), sized(by1, 2))
+			default:
+				var fs, u0, u1 []*pattern.Pattern
+				for key := range fset {
+					if p, ok := cur[key]; ok {
+						fs = append(fs, p)
+					}
+				}
+				for _, p := range sized(by0, k) {
+					if q, ok := cur[p.Code.Key()]; ok {
+						u0 = append(u0, q)
+					}
+				}
+				for _, p := range sized(by1, k) {
+					if q, ok := cur[p.Code.Key()]; ok {
+						u1 = append(u1, q)
+					}
+				}
+				joinSets(cands, u0, fs) // C1
+				joinSets(cands, u1, fs) // C2
+				joinSets(cands, fs, fs) // C3
+			}
+		} else {
+			incremental := cfg.Old != nil && cfg.Updated != nil
+			triples := edgeTriples(result)
+			for _, q := range cur {
+				var qUpd *pattern.TIDSet
+				if incremental && q.TIDs != nil {
+					qUpd = q.TIDs.Intersect(cfg.Updated)
+				}
+				qKey := q.Code.Key()
+				for _, ext := range extensions(q.Code.Graph(), triples, q.TIDs, minSup, qUpd) {
+					addExtensionCandidate(cands, ext, qKey)
+				}
+			}
+			if incremental {
+				// The updated-overlap filter above only finds patterns that
+				// could newly become frequent; previously frequent patterns
+				// are re-verified through the cheap carry-over path.
+				for _, p := range oldBySize(cfg.Old, k+1) {
+					seedOldCandidate(cands, p)
+				}
+			}
+		}
+
+		// Apriori pruning + frequency check against S.
+		next := make(pattern.Set)
+		nextF := make(map[string]bool)
+		unitKeys := make(map[string]bool)
+		for _, p := range sized(by0, k+1) {
+			unitKeys[p.Code.Key()] = true
+		}
+		for _, p := range sized(by1, k+1) {
+			unitKeys[p.Code.Key()] = true
+		}
+		for key, p := range verifyAll(s, cands, cur, minSup, cfg) {
+			next[key] = p
+			result[key] = p
+			if !unitKeys[key] {
+				nextF[key] = true
+			}
+		}
+		cur = next
+		fset = nextF
+	}
+	return result
+}
+
+// verifyAll checks every candidate against S, concurrently when
+// cfg.Workers > 1, and returns the frequent ones.
+func verifyAll(s graph.Database, cands map[string]*candidate, cur pattern.Set, minSup int, cfg Config) pattern.Set {
+	type item struct {
+		key string
+		c   *candidate
+	}
+	items := make([]item, 0, len(cands))
+	var unitSeeded int64
+	for key, c := range cands {
+		items = append(items, item{key, c})
+		if c.guaranteed.Count() > 0 {
+			unitSeeded++
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	out := make(pattern.Set, len(items)/2)
+	total := Stats{Candidates: int64(len(items)), UnitSeeded: unitSeeded}
+	if workers <= 1 {
+		for _, it := range items {
+			if p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &total); p != nil {
+				out[it.key] = p
+				total.Frequent++
+			}
+		}
+	} else {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		chunk := (len(items) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(items) {
+				hi = len(items)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(part []item) {
+				defer wg.Done()
+				local := make(pattern.Set)
+				var st Stats
+				for _, it := range part {
+					if p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &st); p != nil {
+						local[it.key] = p
+						st.Frequent++
+					}
+				}
+				mu.Lock()
+				for k, p := range local {
+					out[k] = p
+				}
+				total.add(&st)
+				mu.Unlock()
+			}(items[lo:hi])
+		}
+		wg.Wait()
+	}
+	if cfg.Stats != nil {
+		cfg.Stats.add(&total)
+	}
+	return out
+}
+
+// candidate is a (k+1)-edge pattern awaiting verification.
+type candidate struct {
+	g          *graph.Graph
+	code       dfscode.Code
+	guaranteed *pattern.TIDSet // transactions known to contain the pattern
+	// parentKey/addedU/addedV are set for extension candidates: removing
+	// edge (addedU, addedV) from g yields the parent pattern with
+	// canonical key parentKey, sparing one canonicalization during the
+	// Apriori check.
+	parentKey      string
+	addedU, addedV int
+}
+
+func addUnitCandidate(cands map[string]*candidate, p *pattern.Pattern, n int) {
+	g := p.Code.Graph()
+	key := p.Code.Key()
+	c, ok := cands[key]
+	if !ok {
+		c = &candidate{g: g, code: p.Code.Clone(), guaranteed: pattern.NewTIDSet(n)}
+		cands[key] = c
+	}
+	if p.TIDs != nil {
+		c.guaranteed = c.guaranteed.Union(p.TIDs)
+	}
+}
+
+// oldBySize returns the k-edge patterns of the pre-update set. The
+// grouping is recomputed per call; Old sets are small relative to the
+// candidate work this seeds.
+func oldBySize(old pattern.Set, k int) []*pattern.Pattern {
+	var out []*pattern.Pattern
+	for _, p := range old {
+		if p.Size() == k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// seedOldCandidate enters a previously frequent pattern into the candidate
+// pool so the incremental check can carry its unchanged supporters over.
+func seedOldCandidate(cands map[string]*candidate, p *pattern.Pattern) {
+	key := p.Code.Key()
+	if _, ok := cands[key]; ok {
+		return
+	}
+	cands[key] = &candidate{g: p.Code.Graph(), code: p.Code.Clone(), guaranteed: pattern.NewTIDSet(0)}
+}
+
+func addCandidate(cands map[string]*candidate, g *graph.Graph, tids *pattern.TIDSet) {
+	code := dfscode.MinCode(g)
+	key := code.Key()
+	c, ok := cands[key]
+	if !ok {
+		c = &candidate{g: code.Graph(), code: code, guaranteed: pattern.NewTIDSet(0)}
+		cands[key] = c
+	}
+	if tids != nil {
+		c.guaranteed = c.guaranteed.Union(tids)
+	}
+}
+
+// addExtensionCandidate registers an extension candidate built by
+// extensions(): the added edge is by construction the last one inserted
+// into ext, so the parent pattern and the added-edge endpoints travel with
+// the candidate to cheapen its Apriori check. The candidate keeps ext's
+// own vertex numbering (an isomorphic relabeling of the canonical form).
+func addExtensionCandidate(cands map[string]*candidate, ext extCandidate, parentKey string) {
+	code := dfscode.MinCode(ext.g)
+	key := code.Key()
+	if _, ok := cands[key]; ok {
+		return // first arrival wins; extension candidates carry no TIDs
+	}
+	cands[key] = &candidate{
+		g:          ext.g,
+		code:       code,
+		guaranteed: pattern.NewTIDSet(0),
+		parentKey:  parentKey,
+		addedU:     ext.u,
+		addedV:     ext.v,
+	}
+}
+
+// checkCandidate applies Apriori pruning (every connected one-edge-removed
+// subpattern must be frequent) and exact support counting restricted to
+// the intersection of the subpatterns' TID sets. In incremental mode
+// (cfg.Old/cfg.Updated set) the supporters of a previously frequent
+// pattern among unchanged transactions carry over without testing. It
+// returns nil for infrequent or pruned candidates.
+func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set, minSup int, cfg Config, st *Stats) *pattern.Pattern {
+	var inter *pattern.TIDSet
+	narrow := func(subKey string) bool {
+		parent, ok := cur[subKey]
+		if !ok {
+			st.Pruned++
+			return false // a connected subpattern is infrequent: prune
+		}
+		if parent.TIDs != nil {
+			if inter == nil {
+				inter = parent.TIDs.Clone()
+			} else {
+				inter = inter.Intersect(parent.TIDs)
+			}
+		}
+		return true
+	}
+	if keys, ok := cachedSubKeys(key); ok {
+		for _, sk := range keys {
+			if !narrow(sk) {
+				return nil
+			}
+		}
+	} else {
+		// Compute removals interleaved with the membership check so a
+		// pruned candidate aborts before canonicalizing every subpattern.
+		// The removal of an extension candidate's added edge is its parent
+		// pattern, whose key is already known.
+		var collected []string
+		for u := 0; u < c.g.VertexCount(); u++ {
+			for _, e := range c.g.Adj[u] {
+				v := e.To
+				if u > v {
+					continue
+				}
+				var sk string
+				if c.parentKey != "" &&
+					((u == c.addedU && v == c.addedV) || (u == c.addedV && v == c.addedU)) {
+					sk = c.parentKey
+				} else {
+					sub := removeEdge(c.g, u, v)
+					if sub == nil {
+						continue // disconnecting removal: not a constraint
+					}
+					sk = dfscode.MinCode(sub).Key()
+				}
+				collected = append(collected, sk)
+				if !narrow(sk) {
+					return nil
+				}
+			}
+		}
+		storeSubKeys(key, collected)
+	}
+	if inter == nil {
+		// No TID information: fall back to scanning every transaction.
+		inter = pattern.NewTIDSet(len(s))
+		for i := range s {
+			inter.Add(i)
+		}
+	}
+	if inter.Count() < minSup {
+		// Supporters of the candidate support every subpattern, so the
+		// intersection bounds the support from above.
+		st.Pruned++
+		return nil
+	}
+
+	tids := pattern.NewTIDSet(len(s))
+	support := 0
+	count := func(candidateTIDs *pattern.TIDSet) {
+		for _, tid := range candidateTIDs.Slice() {
+			if c.guaranteed.Contains(tid) {
+				tids.Add(tid)
+				support++
+				continue
+			}
+			st.IsoTests++
+			if isomorph.Contains(s[tid], c.g) {
+				tids.Add(tid)
+				support++
+			}
+		}
+	}
+	if cfg.Old != nil && cfg.Updated != nil {
+		if old, ok := cfg.Old[key]; ok && old.TIDs != nil {
+			// Unchanged supporters of the old pattern still support it;
+			// only updated transactions can gain or lose the pattern.
+			tids = old.TIDs.Minus(cfg.Updated)
+			support = tids.Count()
+			st.CarriedTIDs += int64(support)
+			count(inter.Intersect(cfg.Updated))
+			if support < minSup {
+				return nil
+			}
+			return &pattern.Pattern{Code: c.code, Support: support, TIDs: tids}
+		}
+	}
+	count(inter)
+	if support < minSup {
+		return nil
+	}
+	return &pattern.Pattern{Code: c.code, Support: support, TIDs: tids}
+}
+
+// frequentEdges scans s for frequent 1-edge patterns with exact supports
+// (Fig. 11 line 1).
+func frequentEdges(s graph.Database, minSup int) pattern.Set {
+	type key struct{ li, le, lj int }
+	tids := make(map[key]*pattern.TIDSet)
+	for tid, g := range s {
+		for u := 0; u < g.VertexCount(); u++ {
+			for _, e := range g.Adj[u] {
+				if u > e.To {
+					continue
+				}
+				li, lj := g.Labels[u], g.Labels[e.To]
+				if li > lj {
+					li, lj = lj, li
+				}
+				k := key{li, e.Label, lj}
+				ts, ok := tids[k]
+				if !ok {
+					ts = pattern.NewTIDSet(len(s))
+					tids[k] = ts
+				}
+				ts.Add(tid)
+			}
+		}
+	}
+	out := make(pattern.Set)
+	for k, ts := range tids {
+		if sup := ts.Count(); sup >= minSup {
+			code := dfscode.Code{{I: 0, J: 1, LI: k.li, LE: k.le, LJ: k.lj}}
+			out[code.Key()] = &pattern.Pattern{Code: code, Support: sup, TIDs: ts}
+		}
+	}
+	return out
+}

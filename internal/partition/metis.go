@@ -1,0 +1,336 @@
+package partition
+
+import "sort"
+
+import "partminer/internal/graph"
+
+// Metis is a small multilevel bisection in the style of METIS (Karypis &
+// Kumar): coarsen the graph with heavy-edge matching, bisect the coarsest
+// graph by greedy region growing, then uncoarsen while refining the
+// boundary with Kernighan–Lin style moves. It serves as the paper's §5.1.1
+// baseline partitioner: it minimizes edge cut well but is oblivious to
+// update frequencies, which is why the paper's criteria beat it on dynamic
+// workloads.
+type Metis struct {
+	// CoarsenTo stops coarsening when the graph has at most this many
+	// vertices (default 8).
+	CoarsenTo int
+	// RefinePasses bounds the KL refinement passes per level (default 4).
+	RefinePasses int
+}
+
+func (m Metis) coarsenTo() int {
+	if m.CoarsenTo <= 1 {
+		return 8
+	}
+	return m.CoarsenTo
+}
+
+func (m Metis) refinePasses() int {
+	if m.RefinePasses <= 0 {
+		return 4
+	}
+	return m.RefinePasses
+}
+
+// wgraph is a weighted multilevel graph: vertices carry the number of
+// original vertices they contracted; edges carry accumulated multiplicity.
+type wgraph struct {
+	vweight []int
+	adj     []map[int]int // neighbor -> edge weight
+}
+
+func newWGraph(g *graph.Graph) *wgraph {
+	n := g.VertexCount()
+	w := &wgraph{vweight: make([]int, n), adj: make([]map[int]int, n)}
+	for v := 0; v < n; v++ {
+		w.vweight[v] = 1
+		w.adj[v] = make(map[int]int)
+		for _, e := range g.Adj[v] {
+			w.adj[v][e.To] = 1
+		}
+	}
+	return w
+}
+
+func (w *wgraph) size() int { return len(w.vweight) }
+
+// coarsen contracts a heavy-edge matching and returns the coarser graph
+// plus the fine→coarse vertex map, or nil if no edge could be matched.
+func (w *wgraph) coarsen() (*wgraph, []int) {
+	n := w.size()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit vertices in random-ish but deterministic order (by index);
+	// match each unmatched vertex to its heaviest unmatched neighbor.
+	matched := 0
+	for v := 0; v < n; v++ {
+		if match[v] != -1 {
+			continue
+		}
+		best, bestW := -1, -1
+		for u, ew := range w.adj[v] {
+			if match[u] == -1 && u != v && ew > bestW {
+				best, bestW = u, ew
+			}
+		}
+		if best != -1 {
+			match[v], match[best] = best, v
+			matched++
+		}
+	}
+	if matched == 0 {
+		return nil, nil
+	}
+	coarseID := make([]int, n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	next := 0
+	for v := 0; v < n; v++ {
+		if coarseID[v] != -1 {
+			continue
+		}
+		coarseID[v] = next
+		if match[v] != -1 {
+			coarseID[match[v]] = next
+		}
+		next++
+	}
+	cg := &wgraph{vweight: make([]int, next), adj: make([]map[int]int, next)}
+	for i := range cg.adj {
+		cg.adj[i] = make(map[int]int)
+	}
+	for v := 0; v < n; v++ {
+		cv := coarseID[v]
+		cg.vweight[cv] += w.vweight[v]
+		for u, ew := range w.adj[v] {
+			cu := coarseID[u]
+			if cu != cv {
+				cg.adj[cv][cu] += ew
+			}
+		}
+	}
+	// Each undirected edge was accumulated from both directions; halve.
+	for v := range cg.adj {
+		for u := range cg.adj[v] {
+			if v < u {
+				cg.adj[v][u] /= 2
+				cg.adj[u][v] = cg.adj[v][u]
+			}
+		}
+	}
+	return cg, coarseID
+}
+
+// initialBisect grows a region from the heaviest-connected vertex until it
+// holds half the total vertex weight.
+func (w *wgraph) initialBisect() []bool {
+	n := w.size()
+	side := make([]bool, n)
+	if n == 0 {
+		return side
+	}
+	total := 0
+	for _, vw := range w.vweight {
+		total += vw
+	}
+	start := 0
+	for v := 1; v < n; v++ {
+		if len(w.adj[v]) > len(w.adj[start]) {
+			start = v
+		}
+	}
+	side[start] = true
+	grown := w.vweight[start]
+	// Greedy growth: repeatedly add the frontier vertex with the largest
+	// connection into the region.
+	for grown*2 < total {
+		best, bestW := -1, -1
+		for v := 0; v < n; v++ {
+			if side[v] {
+				continue
+			}
+			conn := 0
+			for u, ew := range w.adj[v] {
+				if side[u] {
+					conn += ew
+				}
+			}
+			if conn > bestW {
+				best, bestW = v, conn
+			}
+		}
+		if best == -1 {
+			break
+		}
+		side[best] = true
+		grown += w.vweight[best]
+	}
+	return side
+}
+
+// refine runs KL-style boundary refinement: repeatedly move the vertex
+// with the best cut gain to the other side, subject to keeping both sides
+// within a 60/40 weight balance, for a bounded number of passes.
+func (w *wgraph) refine(side []bool, passes int) {
+	n := w.size()
+	total := 0
+	for _, vw := range w.vweight {
+		total += vw
+	}
+	weightOf := func(s bool) int {
+		sum := 0
+		for v := 0; v < n; v++ {
+			if side[v] == s {
+				sum += w.vweight[v]
+			}
+		}
+		return sum
+	}
+	w1 := weightOf(true)
+	// Rebalance first: while one side holds more than 60% of the weight,
+	// move the heavy-side vertex with the best (least bad) gain across.
+	for iter := 0; iter < n; iter++ {
+		heavy := w1*10 > total*6
+		light := w1*10 < total*4
+		if !heavy && !light {
+			break
+		}
+		fromSide := heavy // move from side true if it is the heavy one
+		best, bestGain := -1, 0
+		for v := 0; v < n; v++ {
+			if side[v] != fromSide {
+				continue
+			}
+			ext, int_ := 0, 0
+			for u, ew := range w.adj[v] {
+				if side[u] == side[v] {
+					int_ += ew
+				} else {
+					ext += ew
+				}
+			}
+			if best == -1 || ext-int_ > bestGain {
+				best, bestGain = v, ext-int_
+			}
+		}
+		if best == -1 {
+			break
+		}
+		side[best] = !side[best]
+		if fromSide {
+			w1 -= w.vweight[best]
+		} else {
+			w1 += w.vweight[best]
+		}
+	}
+	for pass := 0; pass < passes; pass++ {
+		moved := false
+		// Order candidate moves by gain, best first.
+		type move struct{ v, gain int }
+		var moves []move
+		for v := 0; v < n; v++ {
+			ext, int_ := 0, 0
+			for u, ew := range w.adj[v] {
+				if side[u] == side[v] {
+					int_ += ew
+				} else {
+					ext += ew
+				}
+			}
+			if ext > 0 || int_ > 0 {
+				moves = append(moves, move{v, ext - int_})
+			}
+		}
+		sort.Slice(moves, func(i, j int) bool { return moves[i].gain > moves[j].gain })
+		for _, mv := range moves {
+			if mv.gain <= 0 {
+				break
+			}
+			// Balance check after hypothetically moving mv.v.
+			nw1 := w1
+			if side[mv.v] {
+				nw1 -= w.vweight[mv.v]
+			} else {
+				nw1 += w.vweight[mv.v]
+			}
+			if nw1*10 < total*4 || nw1*10 > total*6 {
+				continue
+			}
+			// Recompute the gain; earlier moves this pass may have changed it.
+			ext, int_ := 0, 0
+			for u, ew := range w.adj[mv.v] {
+				if side[u] == side[mv.v] {
+					int_ += ew
+				} else {
+					ext += ew
+				}
+			}
+			if ext-int_ <= 0 {
+				continue
+			}
+			side[mv.v] = !side[mv.v]
+			w1 = nw1
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// Bisect implements Bisector with multilevel bisection.
+func (m Metis) Bisect(g *graph.Graph) []bool {
+	n := g.VertexCount()
+	side := make([]bool, n)
+	if n == 0 {
+		return side
+	}
+	if n == 1 {
+		side[0] = true
+		return side
+	}
+	// Coarsening phase.
+	levels := []*wgraph{newWGraph(g)}
+	var maps [][]int
+	for levels[len(levels)-1].size() > m.coarsenTo() {
+		cg, cmap := levels[len(levels)-1].coarsen()
+		if cg == nil {
+			break
+		}
+		levels = append(levels, cg)
+		maps = append(maps, cmap)
+	}
+	// Initial bisection on the coarsest graph.
+	cur := levels[len(levels)-1].initialBisect()
+	levels[len(levels)-1].refine(cur, m.refinePasses())
+	// Uncoarsening with refinement.
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := make([]bool, levels[li].size())
+		cmap := maps[li]
+		for v := range fine {
+			fine[v] = cur[cmap[v]]
+		}
+		levels[li].refine(fine, m.refinePasses())
+		cur = fine
+	}
+	// Guarantee both sides non-empty.
+	any, all := false, true
+	for _, s := range cur {
+		if s {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	if !any {
+		cur[0] = true
+	}
+	if all {
+		cur[0] = false
+	}
+	return cur
+}

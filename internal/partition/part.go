@@ -1,0 +1,164 @@
+// Package partition implements the paper's Phase 1: dividing each graph of
+// a database into subgraphs and grouping the subgraphs into k units
+// (§4.1, Figs. 5 and 6). It provides the GraphPart bisection algorithm with
+// its update-frequency/connectivity weight function, a METIS-like
+// multilevel bisection baseline, and the partition tree that PartMiner's
+// merge-join later walks bottom-up.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"partminer/internal/graph"
+)
+
+// Part is one side of a bisected graph. The part's graph has its own dense
+// vertex ids; Orig maps them back to the vertex ids of the graph that was
+// split, so that parts can be recombined losslessly.
+type Part struct {
+	G    *graph.Graph
+	Orig []int
+}
+
+// Bisector splits a graph's vertex set in two. The returned slice has one
+// entry per vertex; true places the vertex in the first side. Implementors:
+// the GraphPart criteria (Criteria.Bisect) and the METIS-like baseline
+// (Metis.Bisect).
+type Bisector interface {
+	Bisect(g *graph.Graph) []bool
+}
+
+// Split materializes the two parts of g induced by side. Following §4.1,
+// both parts include the connective edges between the sides (and therefore
+// both endpoints of each connective edge), so that the original graph can
+// be recovered from the parts.
+func Split(g *graph.Graph, side []bool) (*Part, *Part) {
+	return buildPart(g, side, true), buildPart(g, side, false)
+}
+
+// buildPart collects the vertices with side[v] == want, every edge among
+// them, and every connective edge (with its opposite endpoint).
+func buildPart(g *graph.Graph, side []bool, want bool) *Part {
+	n := g.VertexCount()
+	remap := make([]int, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	p := &Part{G: graph.New(g.ID)}
+	add := func(v int) int {
+		if remap[v] != -1 {
+			return remap[v]
+		}
+		nv := p.G.AddVertex(g.Labels[v])
+		if g.UFreq != nil {
+			p.G.BumpUpdateFreq(nv, g.UFreq[v])
+		}
+		remap[v] = nv
+		p.Orig = append(p.Orig, v)
+		return nv
+	}
+	// Own-side vertices first (deterministic order), then cross endpoints
+	// as edges force them in.
+	for v := 0; v < n; v++ {
+		if side[v] == want {
+			add(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Adj[v] {
+			if v > e.To {
+				continue
+			}
+			// Keep the edge if at least one endpoint is on our side: edges
+			// inside the side plus connective edges.
+			if side[v] == want || side[e.To] == want {
+				p.G.MustAddEdge(add(v), add(e.To), e.Label)
+			}
+		}
+	}
+	return p
+}
+
+// ConnectiveEdges returns the (u, v) original-id endpoint pairs of the
+// edges crossing the bisection, with u < v.
+func ConnectiveEdges(g *graph.Graph, side []bool) [][2]int {
+	var out [][2]int
+	for v := 0; v < g.VertexCount(); v++ {
+		for _, e := range g.Adj[v] {
+			if v < e.To && side[v] != side[e.To] {
+				out = append(out, [2]int{v, e.To})
+			}
+		}
+	}
+	return out
+}
+
+// Recombine reconstructs the graph that was split into a and b. Vertices
+// are identified by their original ids; the result's vertex ids are the
+// original ids in ascending order (original vertices that ended up in
+// neither part — impossible for connected graphs — would be absent).
+// Duplicate edges (the connective edges, present in both parts) collapse.
+// It returns an error if the parts disagree on a vertex or edge label,
+// which would indicate they came from different graphs.
+func Recombine(a, b *Part) (*graph.Graph, error) {
+	labels := make(map[int]int)
+	ufreq := make(map[int]float64)
+	collect := func(p *Part) error {
+		for pv, ov := range p.Orig {
+			if l, ok := labels[ov]; ok && l != p.G.Labels[pv] {
+				return fmt.Errorf("partition: vertex %d has conflicting labels %d and %d", ov, l, p.G.Labels[pv])
+			}
+			labels[ov] = p.G.Labels[pv]
+			if p.G.UFreq != nil {
+				ufreq[ov] = p.G.UFreq[pv]
+			}
+		}
+		return nil
+	}
+	if err := collect(a); err != nil {
+		return nil, err
+	}
+	if err := collect(b); err != nil {
+		return nil, err
+	}
+	origIDs := make([]int, 0, len(labels))
+	for ov := range labels {
+		origIDs = append(origIDs, ov)
+	}
+	sort.Ints(origIDs)
+	remap := make(map[int]int, len(origIDs))
+	out := graph.New(a.G.ID)
+	for _, ov := range origIDs {
+		nv := out.AddVertex(labels[ov])
+		if f, ok := ufreq[ov]; ok && f != 0 {
+			out.BumpUpdateFreq(nv, f)
+		}
+		remap[ov] = nv
+	}
+	addEdges := func(p *Part) error {
+		for pv := range p.G.Adj {
+			for _, e := range p.G.Adj[pv] {
+				if pv > e.To {
+					continue
+				}
+				u, v := remap[p.Orig[pv]], remap[p.Orig[e.To]]
+				if l, ok := out.EdgeLabel(u, v); ok {
+					if l != e.Label {
+						return fmt.Errorf("partition: edge (%d,%d) has conflicting labels %d and %d", p.Orig[pv], p.Orig[e.To], l, e.Label)
+					}
+					continue
+				}
+				out.MustAddEdge(u, v, e.Label)
+			}
+		}
+		return nil
+	}
+	if err := addEdges(a); err != nil {
+		return nil, err
+	}
+	if err := addEdges(b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

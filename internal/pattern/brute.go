@@ -1,0 +1,126 @@
+package pattern
+
+import (
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+)
+
+// BruteForce mines every frequent connected subgraph with 1..maxEdges edges
+// by exhaustive enumeration of connected edge subsets per graph. It is the
+// correctness reference for the real miners and is exponential: use it only
+// on small inputs (graphs with at most ~64 edges; practically far fewer).
+//
+// Support is per-transaction (each graph counts once regardless of how many
+// embeddings it holds), matching the paper's definition in §3.
+func BruteForce(db graph.Database, minSup, maxEdges int) Set {
+	counts := make(map[string]int)
+	codes := make(map[string]dfscode.Code)
+	tids := make(map[string]*TIDSet)
+	for tid, g := range db {
+		for key, code := range connectedSubgraphCodes(g, maxEdges) {
+			counts[key]++
+			if _, ok := codes[key]; !ok {
+				codes[key] = code
+			}
+			ts, ok := tids[key]
+			if !ok {
+				ts = NewTIDSet(len(db))
+				tids[key] = ts
+			}
+			ts.Add(tid)
+		}
+	}
+	out := make(Set)
+	for key, n := range counts {
+		if n >= minSup {
+			out[key] = &Pattern{Code: codes[key], Support: n, TIDs: tids[key]}
+		}
+	}
+	return out
+}
+
+// connectedSubgraphCodes enumerates the distinct connected subgraphs of g
+// with at most maxEdges edges and returns their canonical codes keyed by
+// code key.
+func connectedSubgraphCodes(g *graph.Graph, maxEdges int) map[string]dfscode.Code {
+	type edge struct{ u, v, label int }
+	var edges []edge
+	edgeIdx := make(map[[2]int]int)
+	for u := 0; u < g.VertexCount(); u++ {
+		for _, e := range g.Adj[u] {
+			if u < e.To {
+				edgeIdx[[2]int{u, e.To}] = len(edges)
+				edges = append(edges, edge{u, e.To, e.Label})
+			}
+		}
+	}
+	if len(edges) > 64 {
+		panic("pattern.BruteForce: graph too large for brute-force enumeration")
+	}
+
+	out := make(map[string]dfscode.Code)
+	seen := make(map[uint64]bool)
+
+	// BFS over connected edge subsets represented as bitmasks.
+	frontier := make([]uint64, 0, len(edges))
+	for i := range edges {
+		frontier = append(frontier, 1<<uint(i))
+	}
+	emit := func(mask uint64) {
+		sub := graph.New(g.ID)
+		vmap := make(map[int]int)
+		addV := func(v int) int {
+			if nv, ok := vmap[v]; ok {
+				return nv
+			}
+			nv := sub.AddVertex(g.Labels[v])
+			vmap[v] = nv
+			return nv
+		}
+		for i, e := range edges {
+			if mask&(1<<uint(i)) != 0 {
+				sub.MustAddEdge(addV(e.u), addV(e.v), e.label)
+			}
+		}
+		code := dfscode.MinCode(sub)
+		out[code.Key()] = code
+	}
+	for level := 1; level <= maxEdges && len(frontier) > 0; level++ {
+		var next []uint64
+		for _, mask := range frontier {
+			if seen[mask] {
+				continue
+			}
+			seen[mask] = true
+			emit(mask)
+			if level == maxEdges {
+				continue
+			}
+			// Extend with any edge incident to a vertex already covered.
+			inMask := func(i int) bool { return mask&(1<<uint(i)) != 0 }
+			for i, e := range edges {
+				if inMask(i) {
+					continue
+				}
+				touches := false
+				for j, f := range edges {
+					if !inMask(j) {
+						continue
+					}
+					if e.u == f.u || e.u == f.v || e.v == f.u || e.v == f.v {
+						touches = true
+						break
+					}
+				}
+				if touches {
+					nm := mask | 1<<uint(i)
+					if !seen[nm] {
+						next = append(next, nm)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package pattern
+
+import "partminer/internal/isomorph"
+
+// Closed returns the closed patterns of the set: patterns with no proper
+// supergraph in the set having the same support (CloseGraph's condensation,
+// Yan & Han SIGKDD'03 — related work the paper cites in §2). The full set
+// can be reconstructed from the closed set plus the Apriori property, so
+// Closed is a lossless summary.
+func (s Set) Closed() Set {
+	return s.condense(func(p, super *Pattern) bool {
+		return super.Support == p.Support
+	})
+}
+
+// Maximal returns the maximal patterns: patterns with no proper supergraph
+// in the set at all (SPIN's notion, Huan et al. SIGKDD'04). Maximal sets
+// are the most compact summary but lose the supports of subpatterns.
+func (s Set) Maximal() Set {
+	return s.condense(func(p, super *Pattern) bool { return true })
+}
+
+// condense drops every pattern for which some strictly larger pattern in
+// the set contains it and satisfies absorb.
+func (s Set) condense(absorb func(p, super *Pattern) bool) Set {
+	bySize := s.BySize()
+	out := make(Set)
+	for size, ps := range bySize {
+		for _, p := range ps {
+			pg := p.Code.Graph()
+			absorbed := false
+			// Only strictly larger patterns can be proper supergraphs, and
+			// a supergraph's supporters are a subset of p's: use the TID
+			// relation as a cheap filter before the isomorphism test.
+			for super := size + 1; super < len(bySize) && !absorbed; super++ {
+				for _, q := range bySize[super] {
+					if !absorb(p, q) {
+						continue
+					}
+					if p.TIDs != nil && q.TIDs != nil && q.TIDs.IntersectCount(p.TIDs) != q.TIDs.Count() {
+						continue // q's supporters must all support p
+					}
+					if isomorph.Contains(q.Code.Graph(), pg) {
+						absorbed = true
+						break
+					}
+				}
+			}
+			if !absorbed {
+				out[p.Code.Key()] = p
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+	"partminer/internal/isomorph"
+)
+
+// chainPattern builds the path pattern 0-0-...-0 with n edges (labels all
+// zero) and the given support/tids.
+func chainPattern(edges, support int, tids ...int) *Pattern {
+	g := graph.New(0)
+	g.AddVertex(0)
+	for i := 0; i < edges; i++ {
+		v := g.AddVertex(0)
+		g.MustAddEdge(v-1, v, 0)
+	}
+	ts := NewTIDSet(8)
+	for _, t := range tids {
+		ts.Add(t)
+	}
+	return &Pattern{Code: dfscode.MinCode(g), Support: support, TIDs: ts}
+}
+
+func TestClosedDropsEqualSupportSubpatterns(t *testing.T) {
+	s := make(Set)
+	p1 := chainPattern(1, 3, 0, 1, 2)
+	p2 := chainPattern(2, 3, 0, 1, 2) // same support: absorbs p1
+	p3 := chainPattern(3, 2, 0, 1)    // smaller support: closed too
+	s.Add(p1)
+	s.Add(p2)
+	s.Add(p3)
+	closed := s.Closed()
+	if _, ok := closed[p1.Code.Key()]; ok {
+		t.Error("p1 should be absorbed by equal-support supergraph p2")
+	}
+	if _, ok := closed[p2.Code.Key()]; !ok {
+		t.Error("p2 should be closed (its supergraph has lower support)")
+	}
+	if _, ok := closed[p3.Code.Key()]; !ok {
+		t.Error("p3 is maximal hence closed")
+	}
+}
+
+func TestMaximalKeepsOnlyTopPatterns(t *testing.T) {
+	s := make(Set)
+	p1 := chainPattern(1, 3, 0, 1, 2)
+	p2 := chainPattern(2, 3, 0, 1, 2)
+	p3 := chainPattern(3, 2, 0, 1)
+	s.Add(p1)
+	s.Add(p2)
+	s.Add(p3)
+	max := s.Maximal()
+	if len(max) != 1 {
+		t.Fatalf("maximal set = %v; want only the 3-edge chain", max.Keys())
+	}
+	if _, ok := max[p3.Code.Key()]; !ok {
+		t.Error("the longest chain should be the only maximal pattern")
+	}
+}
+
+func TestCondensePropertiesOnMinedSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+	full := BruteForce(db, 2, 4)
+	closed := full.Closed()
+	maximal := full.Maximal()
+
+	// maximal ⊆ closed ⊆ full
+	for k := range maximal {
+		if _, ok := closed[k]; !ok {
+			t.Error("maximal pattern missing from closed set")
+		}
+	}
+	for k := range closed {
+		if _, ok := full[k]; !ok {
+			t.Error("closed pattern missing from full set")
+		}
+	}
+	if len(closed) > len(full) || len(maximal) > len(closed) {
+		t.Error("condensed sets cannot grow")
+	}
+
+	// Every dropped pattern must have a supergraph in the closed set with
+	// equal support (closedness witness).
+	for k, p := range full {
+		if _, ok := closed[k]; ok {
+			continue
+		}
+		found := false
+		pg := p.Code.Graph()
+		for _, q := range full {
+			if q.Size() > p.Size() && q.Support == p.Support && isomorph.Contains(q.Code.Graph(), pg) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("pattern %s dropped from closed set without witness", p)
+		}
+	}
+
+	// Every pattern of the full set is contained in some maximal pattern.
+	for _, p := range full {
+		pg := p.Code.Graph()
+		found := false
+		for _, q := range maximal {
+			if isomorph.Contains(q.Code.Graph(), pg) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("pattern %s not covered by any maximal pattern", p)
+		}
+	}
+}

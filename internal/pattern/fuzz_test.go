@@ -1,0 +1,52 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePattern checks the pattern-line parser never panics and that
+// accepted lines re-format losslessly.
+func FuzzParsePattern(f *testing.F) {
+	f.Add("p 3 0 1 0 0 0 t 0 1 2")
+	f.Add("p 1 0 1 5 6 7 1 2 5 8 9 t")
+	f.Add("p x")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		p, err := ParsePattern(line, 16)
+		if err != nil {
+			return
+		}
+		back, err := ParsePattern(FormatPattern(p), 16)
+		if err != nil {
+			t.Fatalf("formatted pattern failed to parse: %v", err)
+		}
+		if !back.Code.Equal(p.Code) || back.Support != p.Support {
+			t.Fatal("format/parse round trip changed the pattern")
+		}
+	})
+}
+
+// FuzzReadSet checks the set parser on arbitrary streams.
+func FuzzReadSet(f *testing.F) {
+	f.Add("patterns 1\np 2 0 1 0 0 0 t 0 1\n.\n")
+	f.Add("patterns 0\n.\n")
+	f.Add("patterns 99\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		set, err := ReadSet(strings.NewReader(data), 8)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteSet(&sb, set); err != nil {
+			t.Fatalf("accepted set failed to serialize: %v", err)
+		}
+		back, err := ReadSet(strings.NewReader(sb.String()), 8)
+		if err != nil {
+			t.Fatalf("reserialized set failed to parse: %v", err)
+		}
+		if len(back) != len(set) {
+			t.Fatal("round trip changed set size")
+		}
+	})
+}

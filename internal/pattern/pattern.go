@@ -1,0 +1,248 @@
+// Package pattern defines the common currency of every miner in this
+// repository: a frequent subgraph pattern (canonical DFS code + support +
+// supporting transaction ids) and sets of patterns keyed by canonical code.
+// It also hosts the brute-force reference miner used by differential tests.
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"partminer/internal/dfscode"
+)
+
+// Pattern is a frequent subgraph: its canonical (minimum) DFS code, its
+// support in the database it was mined from, and optionally the set of
+// transaction ids supporting it.
+type Pattern struct {
+	Code    dfscode.Code
+	Support int
+	TIDs    *TIDSet // nil when the miner did not track transaction ids
+}
+
+// Size returns the number of edges in the pattern (the paper's notion of
+// graph size).
+func (p *Pattern) Size() int { return len(p.Code) }
+
+// Clone deep-copies the pattern.
+func (p *Pattern) Clone() *Pattern {
+	c := &Pattern{Code: p.Code.Clone(), Support: p.Support}
+	if p.TIDs != nil {
+		c.TIDs = p.TIDs.Clone()
+	}
+	return c
+}
+
+func (p *Pattern) String() string {
+	return fmt.Sprintf("{%s sup=%d}", p.Code, p.Support)
+}
+
+// Set is a collection of patterns keyed by canonical code key.
+type Set map[string]*Pattern
+
+// Add inserts p, keeping the larger support if the key already exists.
+func (s Set) Add(p *Pattern) {
+	k := p.Code.Key()
+	if old, ok := s[k]; ok {
+		if p.Support > old.Support {
+			s[k] = p
+		}
+		return
+	}
+	s[k] = p
+}
+
+// BySize splits the set into slices of patterns grouped by edge count;
+// result[k] holds the k-edge patterns (result[0] is empty). The slices are
+// sorted by code for determinism.
+func (s Set) BySize() [][]*Pattern {
+	max := 0
+	for _, p := range s {
+		if p.Size() > max {
+			max = p.Size()
+		}
+	}
+	out := make([][]*Pattern, max+1)
+	for _, p := range s {
+		out[p.Size()] = append(out[p.Size()], p)
+	}
+	for _, ps := range out {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Code.Compare(ps[j].Code) < 0 })
+	}
+	return out
+}
+
+// Keys returns the sorted canonical keys, handy for comparisons in tests.
+func (s Set) Keys() []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Equal reports whether two sets contain the same patterns with the same
+// supports.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, p := range s {
+		q, ok := o[k]
+		if !ok || q.Support != p.Support {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes the difference between two sets as human-readable lines;
+// empty means equal. Tests use it for actionable failures.
+func (s Set) Diff(o Set) []string {
+	var out []string
+	for k, p := range s {
+		q, ok := o[k]
+		switch {
+		case !ok:
+			out = append(out, fmt.Sprintf("only in left:  %s", p))
+		case q.Support != p.Support:
+			out = append(out, fmt.Sprintf("support diff: %s left=%d right=%d", p.Code, p.Support, q.Support))
+		}
+	}
+	for k, q := range o {
+		if _, ok := s[k]; !ok {
+			out = append(out, fmt.Sprintf("only in right: %s", q))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Filter returns the subset with support >= minSup.
+func (s Set) Filter(minSup int) Set {
+	out := make(Set, len(s))
+	for k, p := range s {
+		if p.Support >= minSup {
+			out[k] = p
+		}
+	}
+	return out
+}
+
+// TIDSet is a bitset of transaction ids (database indexes).
+type TIDSet struct {
+	words []uint64
+}
+
+// NewTIDSet returns an empty set sized for n transactions; it grows
+// automatically if larger ids are added.
+func NewTIDSet(n int) *TIDSet {
+	return &TIDSet{words: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts tid.
+func (t *TIDSet) Add(tid int) {
+	w := tid / 64
+	for w >= len(t.words) {
+		t.words = append(t.words, 0)
+	}
+	t.words[w] |= 1 << (tid % 64)
+}
+
+// Contains reports membership.
+func (t *TIDSet) Contains(tid int) bool {
+	w := tid / 64
+	return w < len(t.words) && t.words[w]&(1<<(tid%64)) != 0
+}
+
+// Count returns the cardinality.
+func (t *TIDSet) Count() int {
+	n := 0
+	for _, w := range t.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Intersect returns a new set holding the intersection with o.
+func (t *TIDSet) Intersect(o *TIDSet) *TIDSet {
+	n := len(t.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	out := &TIDSet{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = t.words[i] & o.words[i]
+	}
+	return out
+}
+
+// IntersectCount returns |t ∩ o| without allocating.
+func (t *TIDSet) IntersectCount(o *TIDSet) int {
+	n := len(t.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		count += bits.OnesCount64(t.words[i] & o.words[i])
+	}
+	return count
+}
+
+// Minus returns a new set holding the members of t not in o.
+func (t *TIDSet) Minus(o *TIDSet) *TIDSet {
+	out := &TIDSet{words: append([]uint64(nil), t.words...)}
+	n := len(out.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		out.words[i] &^= o.words[i]
+	}
+	return out
+}
+
+// Union returns a new set holding the union with o.
+func (t *TIDSet) Union(o *TIDSet) *TIDSet {
+	a, b := t.words, o.words
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := &TIDSet{words: make([]uint64, len(a))}
+	copy(out.words, a)
+	for i := range b {
+		out.words[i] |= b[i]
+	}
+	return out
+}
+
+// Slice returns the member tids in ascending order.
+func (t *TIDSet) Slice() []int {
+	var out []int
+	for wi, w := range t.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Clone copies the set.
+func (t *TIDSet) Clone() *TIDSet {
+	return &TIDSet{words: append([]uint64(nil), t.words...)}
+}
+
+func (t *TIDSet) String() string {
+	ids := t.Slice()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

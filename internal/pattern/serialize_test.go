@@ -1,0 +1,107 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+)
+
+func TestWriteReadSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+	set := BruteForce(db, 2, 3)
+	if len(set) == 0 {
+		t.Fatal("empty brute-force set")
+	}
+	var sb strings.Builder
+	if err := WriteSet(&sb, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSet(strings.NewReader(sb.String()), len(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(set) {
+		t.Fatalf("round trip diff: %v", back.Diff(set))
+	}
+	for key, p := range set {
+		if back[key].TIDs.Count() != p.TIDs.Count() {
+			t.Errorf("pattern %s lost TIDs", p)
+		}
+		for _, tid := range p.TIDs.Slice() {
+			if !back[key].TIDs.Contains(tid) {
+				t.Errorf("pattern %s missing tid %d", p, tid)
+			}
+		}
+	}
+}
+
+func TestWriteReadEmptySet(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSet(&sb, make(Set)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSet(strings.NewReader(sb.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty set round trip produced %d patterns", len(back))
+	}
+}
+
+func TestReadSetErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty stream", ""},
+		{"bad header", "nope\n"},
+		{"truncated", "patterns 2\np 1 0 1 0 0 0 t 0\n"},
+		{"missing terminator", "patterns 1\np 1 0 1 0 0 0 t 0\n"},
+		{"bad support", "patterns 1\np x 0 1 0 0 0 t 0\n.\n"},
+		{"no t marker", "patterns 1\np 1 0 1 0 0 0\n.\n"},
+		{"ragged edges", "patterns 1\np 1 0 1 0 t 0\n.\n"},
+		{"bad tid", "patterns 1\np 1 0 1 0 0 0 t zzz\n.\n"},
+		{"not a pattern line", "patterns 1\nq 1\n.\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadSet(strings.NewReader(c.in), 4); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFormatParsePatternSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := graph.RandomDatabase(rng, 5, 5, 6, 3, 2)
+	set := BruteForce(db, 1, 3)
+	for _, p := range set {
+		line := FormatPattern(p)
+		back, err := ParsePattern(line, len(db))
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", line, err)
+		}
+		if !back.Code.Equal(p.Code) || back.Support != p.Support {
+			t.Errorf("round trip changed %s -> %s", p, back)
+		}
+	}
+}
+
+func TestFormatPatternWithoutTIDs(t *testing.T) {
+	set := make(Set)
+	g := graph.New(0)
+	g.AddVertex(1)
+	g.AddVertex(2)
+	g.MustAddEdge(0, 1, 3)
+	p := &Pattern{Code: dfscode.MinCode(g), Support: 7} // nil TIDs
+	set.Add(p)
+	line := FormatPattern(p)
+	back, err := ParsePattern(line, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Support != 7 || back.TIDs.Count() != 0 {
+		t.Errorf("nil-TID pattern round trip wrong: %v", back)
+	}
+}

@@ -1,0 +1,178 @@
+// Package query provides subgraph containment search over a graph
+// database, accelerated by a frequent-pattern index in the spirit of
+// gIndex (Yan, Yu & Han, SIGMOD'04 — "Graph indexing: a frequent
+// structure-based approach", cited by the paper as related work [18]).
+// It is the natural downstream consumer of this repository's miners: the
+// index features are exactly the frequent subgraphs PartMiner produces.
+//
+// Query evaluation follows the filter-verify paradigm: every index
+// feature contained in the query graph constrains the answer set to the
+// feature's supporting transactions (supporters of a graph support all of
+// its subgraphs); the intersection of those TID lists is the candidate
+// set, and candidates are verified with exact subgraph isomorphism. An
+// exhaustive 1-edge TID table keeps pruning effective even for queries
+// whose structure is globally infrequent.
+package query
+
+import (
+	"fmt"
+
+	"partminer/internal/gaston"
+	"partminer/internal/graph"
+	"partminer/internal/isomorph"
+	"partminer/internal/pattern"
+)
+
+// IndexOptions configures BuildIndex.
+type IndexOptions struct {
+	// MinSupport is the absolute support threshold for index features;
+	// default max(2, |db|/20).
+	MinSupport int
+	// MaxFeatureEdges bounds feature size (default 4). Larger features
+	// prune more but cost more per query.
+	MaxFeatureEdges int
+}
+
+func (o IndexOptions) normalize(dbLen int) IndexOptions {
+	if o.MinSupport < 1 {
+		o.MinSupport = dbLen / 20
+		if o.MinSupport < 2 {
+			o.MinSupport = 2
+		}
+	}
+	if o.MaxFeatureEdges <= 0 {
+		o.MaxFeatureEdges = 4
+	}
+	return o
+}
+
+// Index is a frequent-structure containment index over a fixed database.
+type Index struct {
+	db       graph.Database
+	features []*pattern.Pattern
+	// edgeTIDs maps every (li,le,lj) triple (li<=lj) to its exact TID
+	// set, frequent or not.
+	edgeTIDs map[[3]int]*pattern.TIDSet
+	opts     IndexOptions
+}
+
+// Stats describes one query evaluation.
+type Stats struct {
+	// FeaturesTried and FeaturesMatched count index features tested
+	// against the query and those contained in it.
+	FeaturesTried, FeaturesMatched int
+	// Candidates is the filtered candidate count; Verified the number of
+	// candidates that actually contain the query.
+	Candidates, Verified int
+}
+
+// BuildIndex mines db for frequent subgraphs and builds the index.
+func BuildIndex(db graph.Database, opts IndexOptions) *Index {
+	opts = opts.normalize(len(db))
+	set := gaston.Mine(db, gaston.Options{MinSupport: opts.MinSupport, MaxEdges: opts.MaxFeatureEdges})
+	ix := &Index{db: db, opts: opts, edgeTIDs: make(map[[3]int]*pattern.TIDSet)}
+	for _, by := range set.BySize() {
+		for _, p := range by {
+			if p.Size() >= 2 {
+				ix.features = append(ix.features, p)
+			}
+		}
+	}
+	for tid, g := range db {
+		for u := 0; u < g.VertexCount(); u++ {
+			for _, e := range g.Adj[u] {
+				if u > e.To {
+					continue
+				}
+				li, lj := g.Labels[u], g.Labels[e.To]
+				if li > lj {
+					li, lj = lj, li
+				}
+				key := [3]int{li, e.Label, lj}
+				ts, ok := ix.edgeTIDs[key]
+				if !ok {
+					ts = pattern.NewTIDSet(len(db))
+					ix.edgeTIDs[key] = ts
+				}
+				ts.Add(tid)
+			}
+		}
+	}
+	return ix
+}
+
+// FeatureCount returns the number of multi-edge index features.
+func (ix *Index) FeatureCount() int { return len(ix.features) }
+
+// Candidates returns the TIDs that may contain q, by intersecting the TID
+// lists of q's edges and of every index feature contained in q. The
+// returned statistics describe the filtering work.
+func (ix *Index) Candidates(q *graph.Graph) (*pattern.TIDSet, Stats) {
+	var st Stats
+	cand := pattern.NewTIDSet(len(ix.db))
+	for i := range ix.db {
+		cand.Add(i)
+	}
+	// Edge filter: exact and always applicable.
+	for u := 0; u < q.VertexCount(); u++ {
+		for _, e := range q.Adj[u] {
+			if u > e.To {
+				continue
+			}
+			li, lj := q.Labels[u], q.Labels[e.To]
+			if li > lj {
+				li, lj = lj, li
+			}
+			ts, ok := ix.edgeTIDs[[3]int{li, e.Label, lj}]
+			if !ok {
+				// An edge of q occurs nowhere in the database.
+				return pattern.NewTIDSet(len(ix.db)), st
+			}
+			cand = cand.Intersect(ts)
+		}
+	}
+	// Structural features: only those small enough to fit in q.
+	for _, f := range ix.features {
+		if f.Size() > q.EdgeCount() || cand.Count() == 0 {
+			break // features are sorted by size ascending
+		}
+		st.FeaturesTried++
+		if isomorph.Contains(q, f.Code.Graph()) {
+			st.FeaturesMatched++
+			cand = cand.Intersect(f.TIDs)
+		}
+	}
+	st.Candidates = cand.Count()
+	return cand, st
+}
+
+// Find returns the ids of every database graph containing q, ascending,
+// with the evaluation statistics.
+func (ix *Index) Find(q *graph.Graph) ([]int, Stats) {
+	cand, st := ix.Candidates(q)
+	var out []int
+	for _, tid := range cand.Slice() {
+		if isomorph.Contains(ix.db[tid], q) {
+			out = append(out, tid)
+		}
+	}
+	st.Verified = len(out)
+	return out, st
+}
+
+// Scan answers the query without the index (the baseline the filter-verify
+// paradigm is measured against).
+func Scan(db graph.Database, q *graph.Graph) []int {
+	var out []int
+	for tid, g := range db {
+		if isomorph.Contains(g, q) {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("features %d/%d matched, %d candidates, %d verified",
+		s.FeaturesMatched, s.FeaturesTried, s.Candidates, s.Verified)
+}

@@ -1,0 +1,138 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/datagen"
+	"partminer/internal/graph"
+)
+
+func testDB(seed int64, d int) graph.Database {
+	return datagen.Generate(datagen.Config{D: d, N: 8, T: 12, I: 4, L: 30, Seed: seed})
+}
+
+// queryFrom cuts a small connected piece out of a database graph so
+// queries have nonempty answers.
+func queryFrom(rng *rand.Rand, g *graph.Graph, size int) *graph.Graph {
+	start := rng.Intn(g.VertexCount())
+	keep := []int{start}
+	seen := map[int]bool{start: true}
+	for i := 0; i < len(keep) && len(keep) < size; i++ {
+		for _, e := range g.Adj[keep[i]] {
+			if !seen[e.To] && len(keep) < size {
+				seen[e.To] = true
+				keep = append(keep, e.To)
+			}
+		}
+	}
+	sub, _ := g.InducedSubgraph(keep)
+	return sub
+}
+
+func TestFindMatchesScan(t *testing.T) {
+	db := testDB(1, 60)
+	ix := BuildIndex(db, IndexOptions{})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := queryFrom(rng, db[rng.Intn(len(db))], 2+rng.Intn(4))
+		if !q.Connected() || q.EdgeCount() == 0 {
+			return true
+		}
+		got, _ := ix.Find(q)
+		want := Scan(db, q)
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %v want %v", seed, got, want)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidatesSuperset(t *testing.T) {
+	db := testDB(2, 50)
+	ix := BuildIndex(db, IndexOptions{})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		q := queryFrom(rng, db[rng.Intn(len(db))], 3+rng.Intn(3))
+		if q.EdgeCount() == 0 {
+			continue
+		}
+		cand, _ := ix.Candidates(q)
+		for _, tid := range Scan(db, q) {
+			if !cand.Contains(tid) {
+				t.Fatalf("candidate filter dropped true answer %d", tid)
+			}
+		}
+	}
+}
+
+func TestCandidatesPrune(t *testing.T) {
+	db := testDB(3, 80)
+	ix := BuildIndex(db, IndexOptions{})
+	if ix.FeatureCount() == 0 {
+		t.Fatal("index built no features")
+	}
+	rng := rand.New(rand.NewSource(4))
+	prunedSomething := false
+	for i := 0; i < 20; i++ {
+		q := queryFrom(rng, db[rng.Intn(len(db))], 4)
+		if q.EdgeCount() < 2 {
+			continue
+		}
+		cand, st := ix.Candidates(q)
+		if cand.Count() < len(db) {
+			prunedSomething = true
+		}
+		if st.Candidates != cand.Count() {
+			t.Fatal("stats candidate count mismatch")
+		}
+	}
+	if !prunedSomething {
+		t.Error("index never pruned anything across 20 queries")
+	}
+}
+
+func TestUnknownEdgeShortCircuits(t *testing.T) {
+	db := testDB(5, 30)
+	ix := BuildIndex(db, IndexOptions{})
+	q := graph.New(0)
+	q.AddVertex(999) // label never generated
+	q.AddVertex(999)
+	q.MustAddEdge(0, 1, 999)
+	cand, _ := ix.Candidates(q)
+	if cand.Count() != 0 {
+		t.Errorf("impossible edge should yield zero candidates, got %d", cand.Count())
+	}
+	got, _ := ix.Find(q)
+	if len(got) != 0 {
+		t.Errorf("Find returned %v for impossible query", got)
+	}
+}
+
+func TestIndexOptionDefaults(t *testing.T) {
+	o := IndexOptions{}.normalize(100)
+	if o.MinSupport != 5 || o.MaxFeatureEdges != 4 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = IndexOptions{}.normalize(10)
+	if o.MinSupport != 2 {
+		t.Errorf("small-db default minsup = %d; want 2", o.MinSupport)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{FeaturesTried: 10, FeaturesMatched: 3, Candidates: 7, Verified: 5}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}

@@ -1,0 +1,182 @@
+// Package remote distributes unit mining across worker processes. The
+// paper emphasizes that "PartMiner is inherently parallel in nature"
+// (§1): after Phase 1 the k units are independent, so they can be mined
+// on different machines and only the (small) frequent-pattern sets travel
+// back for the merge-join. This package provides the worker RPC service
+// and a client-side core.UnitMiner that farms units out over TCP using
+// the standard library's net/rpc.
+//
+// Wire format: unit databases travel in the gSpan text format
+// (internal/graph), pattern sets in the line format of
+// pattern.FormatPattern — both human-readable, both already exercised by
+// the persistence layer.
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+
+	"partminer/internal/gaston"
+	"partminer/internal/graph"
+	"partminer/internal/pattern"
+)
+
+// MineUnitArgs is the RPC request: one unit database plus thresholds.
+type MineUnitArgs struct {
+	// DBText is the unit database in the gSpan text format.
+	DBText []byte
+	// MinSupport and MaxEdges configure the unit miner.
+	MinSupport int
+	MaxEdges   int
+	// FreeTreeEngine selects Gaston's free-tree engine on the worker.
+	FreeTreeEngine bool
+}
+
+// MineUnitReply carries the unit's frequent patterns.
+type MineUnitReply struct {
+	// SetText is the pattern set in the pattern.WriteSet format.
+	SetText []byte
+}
+
+// Miner is the RPC service workers expose.
+type Miner struct {
+	// Mined counts the units this worker has processed.
+	Mined atomic.Int64
+}
+
+// MineUnit mines one unit database and returns its frequent patterns.
+func (m *Miner) MineUnit(args MineUnitArgs, reply *MineUnitReply) error {
+	db, err := graph.ReadDatabase(bytes.NewReader(args.DBText))
+	if err != nil {
+		return fmt.Errorf("remote: parse unit database: %w", err)
+	}
+	engine := gaston.EngineDFSCode
+	if args.FreeTreeEngine {
+		engine = gaston.EngineFreeTree
+	}
+	set := gaston.Mine(db, gaston.Options{
+		MinSupport: args.MinSupport,
+		MaxEdges:   args.MaxEdges,
+		Engine:     engine,
+	})
+	var buf bytes.Buffer
+	if err := pattern.WriteSet(&buf, set); err != nil {
+		return fmt.Errorf("remote: serialize patterns: %w", err)
+	}
+	reply.SetText = buf.Bytes()
+	m.Mined.Add(1)
+	return nil
+}
+
+// Serve registers the Miner service and accepts connections until the
+// listener closes. Run it in a worker process (cmd/partworker) or a
+// goroutine (tests).
+func Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Miner", &Miner{}); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Pool is a client-side set of worker connections that acts as a unit
+// miner: units are assigned to workers round-robin, and with
+// core.Options.Parallel the units run concurrently across the fleet.
+type Pool struct {
+	clients []*rpc.Client
+	next    atomic.Int64
+	// FreeTreeEngine asks workers to use Gaston's free-tree engine.
+	FreeTreeEngine bool
+
+	mu       sync.Mutex
+	lastErrs []error
+}
+
+// Dial connects to every worker address ("host:port").
+func Dial(addrs ...string) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("remote: no worker addresses")
+	}
+	p := &Pool{}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Close releases all worker connections.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MineUnit implements the core.UnitMiner contract against the fleet. RPC
+// or serialization failures are recorded (see Err) and yield an empty
+// pattern set, which PartMiner's extension-based merge-join tolerates:
+// unit results are accelerators, so the run stays correct, only slower.
+func (p *Pool) MineUnit(db graph.Database, minSup, maxEdges int) pattern.Set {
+	var buf bytes.Buffer
+	if err := graph.WriteDatabase(&buf, db); err != nil {
+		p.recordErr(err)
+		return make(pattern.Set)
+	}
+	args := MineUnitArgs{
+		DBText:         buf.Bytes(),
+		MinSupport:     minSup,
+		MaxEdges:       maxEdges,
+		FreeTreeEngine: p.FreeTreeEngine,
+	}
+	client := p.clients[int(p.next.Add(1)-1)%len(p.clients)]
+	var reply MineUnitReply
+	if err := client.Call("Miner.MineUnit", args, &reply); err != nil {
+		p.recordErr(err)
+		return make(pattern.Set)
+	}
+	set, err := pattern.ReadSet(bytes.NewReader(reply.SetText), len(db))
+	if err != nil {
+		p.recordErr(err)
+		return make(pattern.Set)
+	}
+	return set
+}
+
+func (p *Pool) recordErr(err error) {
+	p.mu.Lock()
+	p.lastErrs = append(p.lastErrs, err)
+	p.mu.Unlock()
+}
+
+// Err returns the first error any unit mining hit, or nil. Callers check
+// it after a PartMiner run to distinguish "fast path degraded" from
+// "all good".
+func (p *Pool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.lastErrs) == 0 {
+		return nil
+	}
+	return p.lastErrs[0]
+}

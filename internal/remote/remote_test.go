@@ -1,0 +1,152 @@
+package remote
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"partminer/internal/core"
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+)
+
+// startWorkers spins up n loopback workers and returns their addresses.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go Serve(l) //nolint:errcheck // returns when the listener closes
+		addrs[i] = l.Addr().String()
+	}
+	return addrs
+}
+
+func TestDistributedPartMinerEqualsLocal(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	db := graph.RandomDatabase(rng, 10, 6, 9, 3, 2)
+	opts := core.Options{MinSupport: 2, K: 4, MaxEdges: 4, Parallel: true, UnitMiner: pool.MineUnit}
+	res, err := core.PartMiner(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Err(); err != nil {
+		t.Fatalf("worker error: %v", err)
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 4})
+	if !res.Patterns.Equal(want) {
+		t.Fatalf("distributed diff: %v", res.Patterns.Diff(want))
+	}
+}
+
+func TestDistributedFreeTreeEngine(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.FreeTreeEngine = true
+
+	rng := rand.New(rand.NewSource(4))
+	db := graph.RandomDatabase(rng, 8, 5, 7, 2, 2)
+	res, err := core.PartMiner(db, core.Options{MinSupport: 2, K: 2, MaxEdges: 4, UnitMiner: pool.MineUnit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 4})
+	if !res.Patterns.Equal(want) {
+		t.Fatalf("free-tree worker diff: %v", res.Patterns.Diff(want))
+	}
+}
+
+func TestPoolDegradesGracefully(t *testing.T) {
+	// A worker that dies mid-run: PartMiner still returns the exact
+	// answer (units are accelerators), and the pool records the error.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l) //nolint:errcheck
+	pool, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	l.Close() // kill the worker's listener; existing conn dies with it? keep conn: close conn instead
+	// Close the client connection to force RPC failures.
+	pool.clients[0].Close()
+
+	rng := rand.New(rand.NewSource(5))
+	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+	res, err := core.PartMiner(db, core.Options{MinSupport: 2, K: 2, MaxEdges: 3, UnitMiner: pool.MineUnit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Err() == nil {
+		t.Error("expected recorded worker errors")
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 3})
+	if !res.Patterns.Equal(want) {
+		t.Fatalf("degraded run lost exactness: %v", res.Patterns.Diff(want))
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(); err == nil {
+		t.Error("empty address list should error")
+	}
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("unreachable worker should error")
+	}
+}
+
+func TestMinerCountsUnits(t *testing.T) {
+	var m Miner
+	var reply MineUnitReply
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(1)
+	g.MustAddEdge(0, 1, 2)
+	var buf = encodeDB(t, graph.Database{g})
+	if err := m.MineUnit(MineUnitArgs{DBText: buf, MinSupport: 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mined.Load() != 1 {
+		t.Errorf("Mined = %d; want 1", m.Mined.Load())
+	}
+	if len(reply.SetText) == 0 {
+		t.Error("empty reply")
+	}
+	if err := m.MineUnit(MineUnitArgs{DBText: []byte("garbage")}, &reply); err == nil {
+		t.Error("garbage database should error")
+	}
+}
+
+func encodeDB(t *testing.T, db graph.Database) []byte {
+	t.Helper()
+	var buf []byte
+	w := &sliceWriter{&buf}
+	if err := graph.WriteDatabase(w, db); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+type sliceWriter struct{ b *[]byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}

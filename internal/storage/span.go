@@ -1,0 +1,68 @@
+package storage
+
+// Appender writes a sequential byte stream across pages, allocating new
+// pages as needed. ADIMINE uses it to lay graph records and index blocks
+// into the file; records may span page boundaries.
+type Appender struct {
+	m   *Manager
+	cur PageID
+	off int // offset within the current page
+	// global is the stream offset of the next byte.
+	global int64
+	active bool
+}
+
+// NewAppender starts a stream at the current end of the file.
+func (m *Manager) NewAppender() *Appender {
+	return &Appender{m: m, global: int64(m.npages) * int64(m.pageSize)}
+}
+
+// Offset returns the global offset where the next byte will land.
+func (a *Appender) Offset() int64 { return a.global }
+
+// Write appends p, spanning pages as needed. It implements io.Writer and
+// never returns a short count without an error.
+func (a *Appender) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		if !a.active || a.off == a.m.pageSize {
+			a.cur = a.m.Allocate()
+			a.off = 0
+			a.active = true
+		}
+		data, err := a.m.Pin(a.cur)
+		if err != nil {
+			return written, err
+		}
+		n := copy(data[a.off:], p)
+		a.m.Unpin(a.cur, true)
+		a.off += n
+		a.global += int64(n)
+		p = p[n:]
+		written += n
+	}
+	return written, nil
+}
+
+// ReadSpan reads length bytes starting at the global offset, pinning and
+// unpinning each covered page.
+func (m *Manager) ReadSpan(off int64, length int) ([]byte, error) {
+	out := make([]byte, 0, length)
+	for length > 0 {
+		id := PageID(off / int64(m.pageSize))
+		in := int(off % int64(m.pageSize))
+		data, err := m.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		n := m.pageSize - in
+		if n > length {
+			n = length
+		}
+		out = append(out, data[in:in+n]...)
+		m.Unpin(id, false)
+		off += int64(n)
+		length -= n
+	}
+	return out, nil
+}

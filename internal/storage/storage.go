@@ -1,0 +1,229 @@
+// Package storage provides a page-oriented block manager with an LRU
+// buffer pool — the "disk-based" substrate under the ADIMINE baseline.
+// Pages live in a backing file; a bounded pool of frames caches them in
+// memory with pin/unpin semantics, evicting the least recently used
+// unpinned page (writing it back when dirty). I/O statistics let the
+// benchmarks report how much physical traffic each miner causes.
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// DefaultPageSize is the page size used when Options leaves it zero.
+const DefaultPageSize = 4096
+
+// PageID identifies a page in the backing file.
+type PageID int
+
+// Stats counts physical and logical page traffic.
+type Stats struct {
+	Reads     int64 // pages read from the backing file
+	Writes    int64 // pages written to the backing file
+	Hits      int64 // pins satisfied from the pool
+	Misses    int64 // pins that had to read
+	Evictions int64 // frames evicted to make room
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	pins  int
+	// LRU list links; only unpinned frames are eligible for eviction.
+	prev, next *frame
+}
+
+// Manager is a page store with a fixed-capacity buffer pool.
+type Manager struct {
+	f        *os.File
+	path     string
+	pageSize int
+	capacity int
+	npages   int
+	frames   map[PageID]*frame
+	// lruHead/lruTail delimit the unpinned frames in least-recently-used
+	// order (head = coldest).
+	lruHead, lruTail *frame
+	stats            Stats
+}
+
+// Options configures a Manager.
+type Options struct {
+	// PageSize in bytes; default DefaultPageSize.
+	PageSize int
+	// PoolPages is the buffer-pool capacity in pages; default 64.
+	PoolPages int
+	// Path of the backing file; empty means a temporary file that is
+	// removed on Close.
+	Path string
+}
+
+// New creates a manager over a fresh backing file.
+func New(opts Options) (*Manager, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = DefaultPageSize
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 64
+	}
+	var f *os.File
+	var err error
+	if opts.Path == "" {
+		f, err = os.CreateTemp("", "partminer-adi-*.db")
+	} else {
+		f, err = os.OpenFile(opts.Path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: open backing file: %w", err)
+	}
+	return &Manager{
+		f:        f,
+		path:     f.Name(),
+		pageSize: opts.PageSize,
+		capacity: opts.PoolPages,
+		frames:   make(map[PageID]*frame),
+	}, nil
+}
+
+// PageSize returns the page size in bytes.
+func (m *Manager) PageSize() int { return m.pageSize }
+
+// PageCount returns the number of allocated pages.
+func (m *Manager) PageCount() int { return m.npages }
+
+// Stats returns a snapshot of the I/O counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Allocate appends a zeroed page and returns its id. The page is not
+// pinned.
+func (m *Manager) Allocate() PageID {
+	id := PageID(m.npages)
+	m.npages++
+	return id
+}
+
+// Pin fetches the page into the pool and returns its bytes. The caller
+// must Unpin exactly once per Pin; the byte slice is valid until then.
+func (m *Manager) Pin(id PageID) ([]byte, error) {
+	if id < 0 || int(id) >= m.npages {
+		return nil, fmt.Errorf("storage: pin of unallocated page %d", id)
+	}
+	if fr, ok := m.frames[id]; ok {
+		m.stats.Hits++
+		if fr.pins == 0 {
+			m.lruRemove(fr)
+		}
+		fr.pins++
+		return fr.data, nil
+	}
+	m.stats.Misses++
+	if err := m.ensureCapacity(); err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, data: make([]byte, m.pageSize), pins: 1}
+	off := int64(id) * int64(m.pageSize)
+	n, err := m.f.ReadAt(fr.data, off)
+	if err != nil && n == 0 {
+		// Page beyond EOF was allocated but never written: zeroes.
+	}
+	m.stats.Reads++
+	m.frames[id] = fr
+	return fr.data, nil
+}
+
+// Unpin releases a pin, marking the page dirty if it was modified.
+func (m *Manager) Unpin(id PageID, dirty bool) {
+	fr, ok := m.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+	}
+	if dirty {
+		fr.dirty = true
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		m.lruAppend(fr)
+	}
+}
+
+// ensureCapacity evicts the LRU unpinned frame if the pool is full.
+func (m *Manager) ensureCapacity() error {
+	if len(m.frames) < m.capacity {
+		return nil
+	}
+	victim := m.lruHead
+	if victim == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", m.capacity)
+	}
+	m.lruRemove(victim)
+	if victim.dirty {
+		if err := m.writePage(victim); err != nil {
+			return err
+		}
+	}
+	delete(m.frames, victim.id)
+	m.stats.Evictions++
+	return nil
+}
+
+func (m *Manager) writePage(fr *frame) error {
+	off := int64(fr.id) * int64(m.pageSize)
+	if _, err := m.f.WriteAt(fr.data, off); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", fr.id, err)
+	}
+	m.stats.Writes++
+	fr.dirty = false
+	return nil
+}
+
+// Flush writes every dirty frame back to the file.
+func (m *Manager) Flush() error {
+	for _, fr := range m.frames {
+		if fr.dirty {
+			if err := m.writePage(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return m.f.Sync()
+}
+
+// Close flushes and closes the manager, removing the backing file.
+func (m *Manager) Close() error {
+	err := m.Flush()
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	if rerr := os.Remove(m.path); err == nil && rerr != nil && !os.IsNotExist(rerr) {
+		err = rerr
+	}
+	return err
+}
+
+// lruAppend puts fr at the hot end of the LRU list.
+func (m *Manager) lruAppend(fr *frame) {
+	fr.prev, fr.next = m.lruTail, nil
+	if m.lruTail != nil {
+		m.lruTail.next = fr
+	}
+	m.lruTail = fr
+	if m.lruHead == nil {
+		m.lruHead = fr
+	}
+}
+
+func (m *Manager) lruRemove(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		m.lruHead = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		m.lruTail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func newTestManager(t *testing.T, pageSize, pool int) *Manager {
+	t.Helper()
+	m, err := New(Options{PageSize: pageSize, PoolPages: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := m.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return m
+}
+
+func TestPinWriteReadBack(t *testing.T) {
+	m := newTestManager(t, 128, 4)
+	id := m.Allocate()
+	data, err := m.Pin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("hello pages"))
+	m.Unpin(id, true)
+
+	data, err = m.Pin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("hello pages")) {
+		t.Errorf("page content lost: %q", data[:16])
+	}
+	m.Unpin(id, false)
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v; want 1 hit, 1 miss", st)
+	}
+}
+
+func TestEvictionWritesDirtyPages(t *testing.T) {
+	m := newTestManager(t, 64, 2)
+	ids := make([]PageID, 5)
+	for i := range ids {
+		ids[i] = m.Allocate()
+		data, err := m.Pin(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte('a' + i)
+		m.Unpin(ids[i], true)
+	}
+	// Pool holds 2; pinning 5 pages forced at least 3 evictions.
+	if st := m.Stats(); st.Evictions < 3 {
+		t.Errorf("evictions = %d; want >= 3", st.Evictions)
+	}
+	// Every page must read back its own content.
+	for i, id := range ids {
+		data, err := m.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte('a'+i) {
+			t.Errorf("page %d content = %c; want %c", id, data[0], 'a'+i)
+		}
+		m.Unpin(id, false)
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	m := newTestManager(t, 64, 2)
+	a, b, c := m.Allocate(), m.Allocate(), m.Allocate()
+	da, err := m.Pin(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da[0] = 'A'
+	if _, err := m.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	m.Unpin(b, false)
+	// Pool full (a pinned, b unpinned): pinning c must evict b, not a.
+	if _, err := m.Pin(c); err != nil {
+		t.Fatal(err)
+	}
+	m.Unpin(c, false)
+	if da[0] != 'A' {
+		t.Error("pinned page was recycled")
+	}
+	m.Unpin(a, true)
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	m := newTestManager(t, 64, 2)
+	a, b, c := m.Allocate(), m.Allocate(), m.Allocate()
+	if _, err := m.Pin(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Pin(c); err == nil {
+		t.Error("pinning with a full, fully-pinned pool should fail")
+	}
+	m.Unpin(a, false)
+	m.Unpin(b, false)
+}
+
+func TestPinErrors(t *testing.T) {
+	m := newTestManager(t, 64, 2)
+	if _, err := m.Pin(0); err == nil {
+		t.Error("pin of unallocated page should fail")
+	}
+	if _, err := m.Pin(-1); err == nil {
+		t.Error("pin of negative page should fail")
+	}
+}
+
+func TestUnpinPanicsWhenNotPinned(t *testing.T) {
+	m := newTestManager(t, 64, 2)
+	id := m.Allocate()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Unpin(id, false)
+}
+
+func TestAppenderAndReadSpan(t *testing.T) {
+	m := newTestManager(t, 32, 4) // tiny pages force spanning
+	a := m.NewAppender()
+	rng := rand.New(rand.NewSource(1))
+	blob := make([]byte, 200)
+	rng.Read(blob)
+
+	start := a.Offset()
+	if start != 0 {
+		t.Errorf("first stream offset = %d; want 0", start)
+	}
+	if n, err := a.Write(blob[:90]); err != nil || n != 90 {
+		t.Fatalf("Write = %d,%v", n, err)
+	}
+	mid := a.Offset()
+	if n, err := a.Write(blob[90:]); err != nil || n != 110 {
+		t.Fatalf("Write = %d,%v", n, err)
+	}
+
+	got, err := m.ReadSpan(start, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Error("round trip through pages corrupted data")
+	}
+	got, err = m.ReadSpan(mid, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob[90:]) {
+		t.Error("mid-stream read wrong")
+	}
+}
+
+func TestAppenderSurvivesEviction(t *testing.T) {
+	// Write far more data than the pool holds, then verify it all.
+	m := newTestManager(t, 64, 2)
+	a := m.NewAppender()
+	var want []byte
+	for i := 0; i < 50; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, 17)
+		want = append(want, chunk...)
+		if _, err := a.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.ReadSpan(0, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("data corrupted across evictions")
+	}
+	if m.Stats().Writes == 0 {
+		t.Error("expected physical writes from evictions")
+	}
+}
+
+func TestFlushAndDefaults(t *testing.T) {
+	m, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.PageSize() != DefaultPageSize {
+		t.Errorf("PageSize = %d; want %d", m.PageSize(), DefaultPageSize)
+	}
+	id := m.Allocate()
+	data, err := m.Pin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "flushed")
+	m.Unpin(id, true)
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Writes == 0 {
+		t.Error("Flush should write dirty pages")
+	}
+	if m.PageCount() != 1 {
+		t.Errorf("PageCount = %d; want 1", m.PageCount())
+	}
+}

@@ -1,0 +1,143 @@
+// Package treecode computes canonical forms for labeled free (unrooted)
+// trees: two trees receive the same code iff they are isomorphic. Gaston's
+// quickstart observation (Nijssen & Kok, SIGKDD'04) is that most frequent
+// substructures are free trees, and that tree-specific canonical forms are
+// much cheaper than general graph canonicalization — this package is what
+// lets the free-tree Gaston engine (internal/gaston, EngineFreeTree) avoid
+// minimum-DFS-code computations during its acyclic phase.
+//
+// The canonical form is classical: root the tree at its centroid (one or
+// two vertices whose removal leaves components of at most ⌊n/2⌋ vertices),
+// encode each rooted tree by sorting children by their recursive
+// encodings, and for bicentroidal trees take the smaller of the two
+// rootings. Labels of vertices and edges are folded into the encoding.
+package treecode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"partminer/internal/graph"
+)
+
+// IsTree reports whether g is a free tree: connected with exactly
+// |V|-1 edges (the single-vertex graph counts; the empty graph does not).
+func IsTree(g *graph.Graph) bool {
+	n := g.VertexCount()
+	if n == 0 {
+		return false
+	}
+	return g.EdgeCount() == n-1 && g.Connected()
+}
+
+// Canonical returns the canonical code of the free tree g. It panics if g
+// is not a tree; callers guard with IsTree (the Gaston engine only feeds
+// it acyclic patterns by construction).
+func Canonical(g *graph.Graph) string {
+	if !IsTree(g) {
+		panic("treecode: Canonical called on a non-tree")
+	}
+	cents := Centroids(g)
+	best := ""
+	for i, c := range cents {
+		enc := encodeRooted(g, c, -1)
+		if i == 0 || enc < best {
+			best = enc
+		}
+	}
+	return best
+}
+
+// Centroids returns the one or two centroid vertices of the tree.
+func Centroids(g *graph.Graph) []int {
+	n := g.VertexCount()
+	if n == 1 {
+		return []int{0}
+	}
+	// subtreeSize[v] via iterative post-order from vertex 0.
+	size := make([]int, n)
+	parent := make([]int, n)
+	order := make([]int, 0, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	stack := []int{0}
+	visited := make([]bool, n)
+	visited[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for _, e := range g.Adj[v] {
+			if !visited[e.To] {
+				visited[e.To] = true
+				parent[e.To] = v
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		size[v]++
+		if parent[v] != -1 {
+			size[parent[v]] += size[v]
+		}
+	}
+	// The centroid minimizes the maximum component size after removal.
+	bestMax := n + 1
+	var cents []int
+	for v := 0; v < n; v++ {
+		maxComp := n - size[v] // the component containing v's parent
+		for _, e := range g.Adj[v] {
+			if e.To != parent[v] && parent[e.To] == v {
+				if size[e.To] > maxComp {
+					maxComp = size[e.To]
+				}
+			}
+		}
+		if maxComp < bestMax {
+			bestMax = maxComp
+			cents = cents[:0]
+			cents = append(cents, v)
+		} else if maxComp == bestMax {
+			cents = append(cents, v)
+		}
+	}
+	sort.Ints(cents)
+	if len(cents) > 2 {
+		// Cannot happen for trees; guard against misuse.
+		cents = cents[:2]
+	}
+	return cents
+}
+
+// encodeRooted produces the canonical encoding of the tree rooted at v,
+// entered from parent p (-1 for the root). Children are sorted by their
+// (edge label, encoding) pairs so the result is isomorphism-invariant.
+func encodeRooted(g *graph.Graph, v, p int) string {
+	type child struct {
+		elabel int
+		enc    string
+	}
+	var kids []child
+	for _, e := range g.Adj[v] {
+		if e.To == p {
+			continue
+		}
+		kids = append(kids, child{e.Label, encodeRooted(g, e.To, v)})
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].elabel != kids[j].elabel {
+			return kids[i].elabel < kids[j].elabel
+		}
+		return kids[i].enc < kids[j].enc
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%d", g.Labels[v])
+	for _, k := range kids {
+		fmt.Fprintf(&b, "[%d]%s", k.elabel, k.enc)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

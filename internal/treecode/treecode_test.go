@@ -1,0 +1,195 @@
+package treecode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partminer/internal/dfscode"
+	"partminer/internal/graph"
+)
+
+// randomTree builds a random labeled free tree with n vertices.
+func randomTree(rng *rand.Rand, n, vLabels, eLabels int) *graph.Graph {
+	return graph.RandomConnected(rng, 0, n, n-1, vLabels, eLabels)
+}
+
+// permute relabels vertex ids randomly, preserving structure.
+func permute(rng *rand.Rand, g *graph.Graph) *graph.Graph {
+	n := g.VertexCount()
+	perm := rng.Perm(n)
+	inv := make([]int, n)
+	for newID, oldID := range perm {
+		inv[oldID] = newID
+	}
+	out := graph.New(g.ID)
+	labels := make([]int, n)
+	for old, l := range g.Labels {
+		labels[inv[old]] = l
+	}
+	for _, l := range labels {
+		out.AddVertex(l)
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Adj[u] {
+			if u < e.To {
+				out.MustAddEdge(inv[u], inv[e.To], e.Label)
+			}
+		}
+	}
+	return out
+}
+
+func TestIsTree(t *testing.T) {
+	g := graph.New(0)
+	if IsTree(g) {
+		t.Error("empty graph is not a tree")
+	}
+	g.AddVertex(0)
+	if !IsTree(g) {
+		t.Error("single vertex is a tree")
+	}
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	if !IsTree(g) {
+		t.Error("single edge is a tree")
+	}
+	g.AddVertex(0)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 0, 0) // close a triangle
+	if IsTree(g) {
+		t.Error("triangle is not a tree")
+	}
+}
+
+func TestCanonicalInvariantUnderPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTree(rng, 2+rng.Intn(12), 3, 2)
+		return Canonical(g) == Canonical(permute(rng, g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanonicalAgreesWithMinDFSCode is the cross-validation against the
+// general graph canonical form: two trees share a treecode canonical form
+// iff they share a minimum DFS code.
+func TestCanonicalAgreesWithMinDFSCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	type pair struct{ tree, dfs string }
+	seen := map[string]string{} // treecode -> dfscode key
+	for i := 0; i < 300; i++ {
+		g := randomTree(rng, 2+rng.Intn(8), 2, 2)
+		tc := Canonical(g)
+		dc := dfscode.MinCode(g).Key()
+		if prev, ok := seen[tc]; ok {
+			if prev != dc {
+				t.Fatalf("same tree code %q but different DFS codes %q / %q", tc, prev, dc)
+			}
+		} else {
+			seen[tc] = dc
+		}
+	}
+	// And the converse: distinct tree codes must have distinct DFS codes.
+	byDFS := map[string]string{}
+	for tc, dc := range seen {
+		if prev, ok := byDFS[dc]; ok && prev != tc {
+			t.Fatalf("same DFS code %q for tree codes %q / %q", dc, prev, tc)
+		}
+		byDFS[dc] = tc
+	}
+}
+
+func TestCanonicalDistinguishesLabels(t *testing.T) {
+	p := func(l0, l1, l2, e0, e1 int) string {
+		g := graph.New(0)
+		g.AddVertex(l0)
+		g.AddVertex(l1)
+		g.AddVertex(l2)
+		g.MustAddEdge(0, 1, e0)
+		g.MustAddEdge(1, 2, e1)
+		return Canonical(g)
+	}
+	if p(0, 0, 0, 0, 0) == p(0, 0, 1, 0, 0) {
+		t.Error("vertex label change should change the code")
+	}
+	if p(0, 0, 0, 0, 0) == p(0, 0, 0, 0, 1) {
+		t.Error("edge label change should change the code")
+	}
+	// Symmetric relabelings of a path must collide (isomorphic).
+	if p(1, 0, 2, 3, 4) != p(2, 0, 1, 4, 3) {
+		t.Error("mirrored path should have the same code")
+	}
+}
+
+func TestCentroidsPath(t *testing.T) {
+	// A path of 5 vertices has the single centroid in the middle; a path
+	// of 4 has the two middle vertices.
+	mk := func(n int) *graph.Graph {
+		g := graph.New(0)
+		for i := 0; i < n; i++ {
+			g.AddVertex(0)
+		}
+		for i := 1; i < n; i++ {
+			g.MustAddEdge(i-1, i, 0)
+		}
+		return g
+	}
+	c5 := Centroids(mk(5))
+	if len(c5) != 1 || c5[0] != 2 {
+		t.Errorf("path-5 centroids = %v; want [2]", c5)
+	}
+	c4 := Centroids(mk(4))
+	if len(c4) != 2 || c4[0] != 1 || c4[1] != 2 {
+		t.Errorf("path-4 centroids = %v; want [1 2]", c4)
+	}
+}
+
+func TestCentroidsStar(t *testing.T) {
+	g := graph.New(0)
+	g.AddVertex(0)
+	for i := 0; i < 5; i++ {
+		v := g.AddVertex(1)
+		g.MustAddEdge(0, v, 0)
+	}
+	c := Centroids(g)
+	if len(c) != 1 || c[0] != 0 {
+		t.Errorf("star centroids = %v; want the hub", c)
+	}
+}
+
+func TestCentroidsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTree(rng, 2+rng.Intn(14), 2, 2)
+		cents := Centroids(g)
+		if len(cents) < 1 || len(cents) > 2 {
+			return false
+		}
+		if len(cents) == 2 && !g.HasEdge(cents[0], cents[1]) {
+			return false // bicentroids are always adjacent
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalPanicsOnNonTree(t *testing.T) {
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on cyclic input")
+		}
+	}()
+	Canonical(g)
+}
