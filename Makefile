@@ -1,0 +1,24 @@
+# Developer entry points; `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: all build vet test race check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+clean:
+	$(GO) clean ./...

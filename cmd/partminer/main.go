@@ -12,16 +12,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"partminer/internal/adimine"
 	"partminer/internal/core"
+	"partminer/internal/exec"
 	"partminer/internal/fsg"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
@@ -35,6 +40,9 @@ func main() {
 	k := flag.Int("k", 2, "number of units")
 	maxEdges := flag.Int("maxedges", 0, "bound on pattern size (0 = unbounded)")
 	parallel := flag.Bool("parallel", false, "mine units in parallel")
+	workers := flag.Int("workers", 0, "worker-pool bound with -parallel (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort mining after this duration (0 = none); SIGINT/SIGTERM also cancel")
+	phases := flag.Bool("phases", false, "print the per-phase breakdown (stage timings and work counters) to stderr")
 	criteria := flag.String("criteria", "partition3", "partitioning criteria: partition1, partition2, partition3, metis")
 	miner := flag.String("miner", "partminer", "algorithm: partminer, gspan, gaston, freetree, fsg, adimine")
 	updatedPath := flag.String("updated", "", "updated database for incremental mining")
@@ -44,6 +52,21 @@ func main() {
 	resumePath := flag.String("resume", "", "resume from a saved result instead of mining from scratch")
 	condense := flag.String("condense", "", "report only 'closed' or 'maximal' patterns (post-mining condensation)")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the run cooperatively: every mining layer
+	// observes the context and unwinds with ctx.Err().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var collector *exec.Collector
+	if *phases {
+		collector = &exec.Collector{}
+		defer func() { fmt.Fprint(os.Stderr, collector.String()) }()
+	}
 
 	db := readDB(flag.Arg(0))
 	sup := absSupport(db, *minsup)
@@ -66,17 +89,26 @@ func main() {
 	switch *miner {
 	case "gspan":
 		start := time.Now()
-		set := gspan.Mine(db, gspan.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		set, err := gspan.MineContext(ctx, db, gspan.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		if err != nil {
+			fatal(err)
+		}
 		report(condenseSet(set, *condense), time.Since(start), *showAll)
 		return
 	case "gaston":
 		start := time.Now()
-		set := gaston.Mine(db, gaston.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		set, err := gaston.MineContext(ctx, db, gaston.Options{MinSupport: sup, MaxEdges: *maxEdges})
+		if err != nil {
+			fatal(err)
+		}
 		report(condenseSet(set, *condense), time.Since(start), *showAll)
 		return
 	case "freetree":
 		start := time.Now()
-		set := gaston.Mine(db, gaston.Options{MinSupport: sup, MaxEdges: *maxEdges, Engine: gaston.EngineFreeTree})
+		set, err := gaston.MineContext(ctx, db, gaston.Options{MinSupport: sup, MaxEdges: *maxEdges, Engine: gaston.EngineFreeTree})
+		if err != nil {
+			fatal(err)
+		}
 		report(condenseSet(set, *condense), time.Since(start), *showAll)
 		return
 	case "fsg":
@@ -97,7 +129,10 @@ func main() {
 		fatal(fmt.Errorf("unknown miner %q", *miner))
 	}
 
-	opts := core.Options{MinSupport: sup, K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Bisector: bis}
+	opts := core.Options{MinSupport: sup, K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Workers: *workers, Bisector: bis}
+	if collector != nil {
+		opts.Observer = collector
+	}
 	start := time.Now()
 	var res *core.Result
 	var err error
@@ -112,10 +147,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "resumed %d patterns from %s\n", len(res.Patterns), *resumePath)
 		}
 	} else {
-		res, err = core.PartMiner(db, opts)
+		res, err = core.MineContext(ctx, db, opts)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	for _, derr := range res.Degraded {
+		fmt.Fprintln(os.Stderr, "partminer: degraded:", derr)
 	}
 	elapsed := time.Since(start)
 
@@ -160,9 +198,12 @@ func main() {
 		}
 	}
 	start = time.Now()
-	inc, err := core.IncPartMiner(newDB, tids, res)
+	inc, err := core.IncMineContext(ctx, newDB, tids, res)
 	if err != nil {
 		fatal(err)
+	}
+	for _, derr := range inc.Degraded {
+		fmt.Fprintln(os.Stderr, "partminer: degraded:", derr)
 	}
 	report(condenseSet(inc.Patterns, *condense), time.Since(start), *showAll)
 	if *savePath != "" {
@@ -249,5 +290,8 @@ func report(set pattern.Set, elapsed time.Duration, showAll bool) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "partminer:", err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(130) // interrupted, shell-style
+	}
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 // Command partworker runs a unit-mining worker for distributed PartMiner.
 // A coordinator (any process using partminer.DialWorkers) ships partition
 // units to workers and merges the returned frequent-pattern sets locally.
+// SIGINT/SIGTERM shut the worker down cleanly.
 //
 // Usage:
 //
@@ -8,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"partminer/internal/remote"
 )
@@ -20,13 +24,25 @@ func main() {
 	listen := flag.String("listen", ":4100", "address to listen on")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "partworker:", err)
 		os.Exit(1)
 	}
+	// Closing the listener makes Serve's Accept return, unwinding main.
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
 	fmt.Fprintf(os.Stderr, "partworker: mining units on %s\n", l.Addr())
 	if err := remote.Serve(l); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "partworker: shutting down")
+			return
+		}
 		fmt.Fprintln(os.Stderr, "partworker:", err)
 		os.Exit(1)
 	}

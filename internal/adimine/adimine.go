@@ -302,7 +302,7 @@ func (ix *Index) Mine() pattern.Set {
 }
 
 func (ix *Index) grow(code dfscode.Code, proj extend.Projection, out pattern.Set) {
-	for _, cand := range extend.Extensions(ix, code, proj, false) {
+	for _, cand := range extend.Extensions(ix, code, proj, false, nil) {
 		if cand.Proj.Support() < ix.opts.minSup() {
 			continue
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"partminer/internal/adimine"
@@ -363,8 +364,8 @@ func AblationUnitMiner(s Scale) *Table {
 	cfg := base50k(s)
 	db := dataset(cfg)
 	ms := sup(db, 0.04)
-	gspanUnit := func(db graph.Database, minSup, maxEdges int) pattern.Set {
-		return gspan.Mine(db, gspan.Options{MinSupport: minSup, MaxEdges: maxEdges})
+	gspanUnit := func(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
+		return gspan.MineContext(ctx, db, gspan.Options{MinSupport: minSup, MaxEdges: maxEdges})
 	}
 	t := &Table{
 		Name:    "ablation-miner",

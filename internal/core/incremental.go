@@ -1,10 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
+	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/partition"
 	"partminer/internal/pattern"
@@ -39,6 +40,13 @@ type IncResult struct {
 // so frequency checking concentrates on the potential IF patterns — the
 // source of the paper's "tremendous savings".
 func IncPartMiner(newDB graph.Database, updatedTIDs []int, prev *Result) (*IncResult, error) {
+	return IncMineContext(context.Background(), newDB, updatedTIDs, prev)
+}
+
+// IncMineContext is IncPartMiner with cooperative cancellation; like
+// MineContext, re-mining and the incremental merge-join chain observe
+// ctx and return ctx.Err() promptly once it is cancelled.
+func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int, prev *Result) (*IncResult, error) {
 	if prev == nil || prev.Tree == nil {
 		return nil, fmt.Errorf("core: IncPartMiner requires a previous PartMiner result with its partition tree")
 	}
@@ -46,11 +54,15 @@ func IncPartMiner(newDB graph.Database, updatedTIDs []int, prev *Result) (*IncRe
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(newDB) != len(prev.Tree.Root.DB) {
 		return nil, fmt.Errorf("core: updated database has %d graphs; previous run had %d (updates must preserve graph order)",
 			len(newDB), len(prev.Tree.Root.DB))
 	}
 
+	obs := opts.Observer
 	res := &IncResult{}
 	updated := pattern.NewTIDSet(len(newDB))
 	for _, tid := range updatedTIDs {
@@ -63,7 +75,9 @@ func IncPartMiner(newDB graph.Database, updatedTIDs []int, prev *Result) (*IncRe
 	// Re-partition. Unchanged graphs split deterministically into the
 	// same pieces, so piece comparison below isolates the changed units.
 	start := time.Now()
+	endStage := exec.StageTimer(obs, "partition")
 	tree, err := partition.DBPartition(newDB, opts.K, opts.Bisector)
+	endStage()
 	if err != nil {
 		return nil, err
 	}
@@ -91,11 +105,6 @@ func IncPartMiner(newDB graph.Database, updatedTIDs []int, prev *Result) (*IncRe
 	res.UnitPatterns = make([]pattern.Set, len(newLeaves))
 	res.UnitTimes = make([]time.Duration, len(newLeaves))
 	res.UnitSupport = prev.UnitSupport
-	mineLeaf := func(i int) {
-		t0 := time.Now()
-		res.UnitPatterns[i] = opts.unitMiner()(newLeaves[i].DB, ceilDiv(opts.MinSupport, opts.K), opts.MaxEdges)
-		res.UnitTimes[i] = time.Since(t0)
-	}
 	var remineIdx []int
 	for i := range newLeaves {
 		if needRemine[i] {
@@ -105,27 +114,48 @@ func IncPartMiner(newDB graph.Database, updatedTIDs []int, prev *Result) (*IncRe
 		}
 	}
 	res.ReminedUnits = remineIdx
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for _, i := range remineIdx {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				mineLeaf(i)
-			}(i)
+
+	pool := opts.pool()
+	unitErrs := make([]error, len(remineIdx))
+	endStage = exec.StageTimer(obs, "units")
+	err = pool.Map(ctx, len(remineIdx), func(j int) {
+		i := remineIdx[j]
+		endUnit := exec.StageTimer(obs, fmt.Sprintf("unit.%d", i))
+		defer endUnit()
+		t0 := time.Now()
+		set, uerr := opts.unitMiner()(ctx, newLeaves[i].DB, ceilDiv(opts.MinSupport, opts.K), opts.MaxEdges)
+		if set == nil {
+			set = make(pattern.Set)
 		}
-		wg.Wait()
-	} else {
-		for _, i := range remineIdx {
-			mineLeaf(i)
+		res.UnitPatterns[i] = set
+		res.UnitTimes[i] = time.Since(t0)
+		unitErrs[j] = uerr
+	})
+	endStage()
+	if err != nil {
+		return nil, err
+	}
+	for j, uerr := range unitErrs {
+		if uerr == nil {
+			continue
 		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		res.Degraded = append(res.Degraded, fmt.Errorf("unit %d: %w", remineIdx[j], uerr))
+		exec.Count(obs, "units.degraded", 1)
 	}
 
 	// IncMergeJoin chain: replay the merges with the old node sets so
 	// unchanged transactions skip frequency checks.
 	t0 := time.Now()
+	endStage = exec.StageTimer(obs, "merge")
 	res.NodeSets = make(map[string]pattern.Set)
-	res.Patterns = solve(tree.Root, "", res.UnitPatterns, opts, res.NodeSets, prev.NodeSets, updated, &res.MergeStats)
+	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, prev.NodeSets, updated, &res.MergeStats, pool)
+	endStage()
+	if err != nil {
+		return nil, err
+	}
 	res.MergeTime = time.Since(t0)
 	res.Options = opts
 

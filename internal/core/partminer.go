@@ -9,14 +9,21 @@
 // that any pattern frequent in the database is frequent in at least one
 // unit — and recursively combines unit results up the partition tree with
 // internal/mergejoin, checking merged candidates at support sup/2^level.
+//
+// Execution runs on the shared substrate of internal/exec: MineContext
+// and IncMineContext propagate context cancellation into every layer, a
+// single bounded worker pool schedules unit mining and merge-join
+// verification, and an optional exec.Observer receives the per-phase
+// breakdown (partition / per-unit / merge) the paper's §5 tables report.
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
+	"partminer/internal/exec"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
 	"partminer/internal/mergejoin"
@@ -26,18 +33,22 @@ import (
 
 // UnitMiner mines the complete frequent-pattern set of one unit database
 // at the given absolute support. Implementations must return exact
-// supports and TIDs relative to the unit database's indexes.
-type UnitMiner func(db graph.Database, minSup, maxEdges int) pattern.Set
+// supports and TIDs relative to the unit database's indexes, observe ctx
+// cancellation cooperatively, and report failures through the error: a
+// non-nil error with a usable (possibly empty) set marks the unit as
+// degraded — PartMiner's extension-based merge-join stays correct without
+// unit results, only slower — and is surfaced in Result.Degraded.
+type UnitMiner func(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error)
 
 // GastonMiner is the default unit miner (the paper's choice, §4.2).
-func GastonMiner(db graph.Database, minSup, maxEdges int) pattern.Set {
-	return gaston.Mine(db, gaston.Options{MinSupport: minSup, MaxEdges: maxEdges})
+func GastonMiner(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
+	return gaston.MineContext(ctx, db, gaston.Options{MinSupport: minSup, MaxEdges: maxEdges})
 }
 
 // GastonFreeTreeMiner is Gaston with its original free-tree enumeration
 // engine (trees first with tree canonical forms, cycles closed after).
-func GastonFreeTreeMiner(db graph.Database, minSup, maxEdges int) pattern.Set {
-	return gaston.Mine(db, gaston.Options{MinSupport: minSup, MaxEdges: maxEdges, Engine: gaston.EngineFreeTree})
+func GastonFreeTreeMiner(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
+	return gaston.MineContext(ctx, db, gaston.Options{MinSupport: minSup, MaxEdges: maxEdges, Engine: gaston.EngineFreeTree})
 }
 
 // Options configures PartMiner.
@@ -51,8 +62,13 @@ type Options struct {
 	// Bisector selects the partitioning criteria; default Partition3
 	// (isolate updated vertices and minimize connectivity).
 	Bisector partition.Bisector
-	// Parallel mines the units concurrently (§5.1.3's parallel mode).
+	// Parallel mines the units concurrently (§5.1.3's parallel mode) and
+	// verifies merge-join candidates concurrently, all on one bounded
+	// worker pool shared by the whole run.
 	Parallel bool
+	// Workers bounds the run's worker pool when Parallel is set; 0 means
+	// runtime.GOMAXPROCS(0). Ignored in serial mode.
+	Workers int
 	// MaxEdges bounds pattern size; 0 means unbounded.
 	MaxEdges int
 	// StrictPaperJoin switches the merge-join to the paper's literal
@@ -60,6 +76,11 @@ type Options struct {
 	StrictPaperJoin bool
 	// UnitMiner overrides the per-unit mining algorithm; default Gaston.
 	UnitMiner UnitMiner
+	// Observer, when non-nil, receives stage timings ("partition",
+	// "unit.<i>", "units", "merge", "merge.<path>") and work counters
+	// from every layer of the run. exec.Collector is a ready-made
+	// aggregating implementation.
+	Observer exec.Observer
 }
 
 func (o *Options) normalize() error {
@@ -88,6 +109,20 @@ func (o Options) unitMiner() UnitMiner {
 	return o.UnitMiner
 }
 
+// pool builds the run's shared execution pool: a real bounded pool in
+// parallel mode, a strictly in-order single-worker pool otherwise (so
+// serial runs stay deterministic and goroutine-free).
+func (o Options) pool() *exec.Pool {
+	if !o.Parallel {
+		return exec.Serial()
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return exec.NewPool(workers)
+}
+
 // Result carries the mined patterns plus the breakdown the paper's
 // evaluation reports: per-unit mining times (for aggregate vs parallel
 // runtime, §5.1.3) and the partition tree for reuse by IncPartMiner.
@@ -108,6 +143,13 @@ type Result struct {
 	// MergeStats aggregates candidate/verification counters across every
 	// merge-join in the run.
 	MergeStats mergejoin.Stats
+	// Degraded records unit-miner failures, one error per degraded unit
+	// in unit order. A degraded unit contributed an empty (or partial)
+	// accelerator set: the run's Patterns stay exact — the merge-join
+	// re-derives everything from the database — but slower. Callers that
+	// previously had to side-channel remote.Pool.Err can check this
+	// directly.
+	Degraded []error
 	// NodeSets holds the merged frequent set of every internal partition-
 	// tree node, keyed by tree path ("" is the root, "0"/"1" its
 	// children, and so on). IncPartMiner reuses them to skip frequency
@@ -143,14 +185,28 @@ func (r *Result) ParallelTime() time.Duration {
 
 // PartMiner mines the complete set of frequent subgraphs of db (Fig. 11).
 func PartMiner(db graph.Database, opts Options) (*Result, error) {
+	return MineContext(context.Background(), db, opts)
+}
+
+// MineContext is PartMiner with cooperative cancellation: every phase —
+// partitioning aside, which is cheap — checks ctx and the run returns
+// ctx.Err() promptly once it is cancelled. Serial and parallel runs of
+// the same configuration produce identical pattern sets.
+func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	obs := opts.Observer
 	res := &Result{}
 
 	// Phase 1: divide the database into k units.
 	start := time.Now()
+	endStage := exec.StageTimer(obs, "partition")
 	tree, err := partition.DBPartition(db, opts.K, opts.Bisector)
+	endStage()
 	if err != nil {
 		return nil, err
 	}
@@ -167,31 +223,46 @@ func PartMiner(db graph.Database, opts Options) (*Result, error) {
 	res.UnitTimes = make([]time.Duration, len(leaves))
 	res.UnitSupport = ceilDiv(opts.MinSupport, opts.K)
 
+	pool := opts.pool()
+	unitErrs := make([]error, len(leaves))
 	mineLeaf := func(i int) {
+		endUnit := exec.StageTimer(obs, fmt.Sprintf("unit.%d", i))
+		defer endUnit()
 		t0 := time.Now()
-		res.UnitPatterns[i] = opts.unitMiner()(leaves[i].DB, res.UnitSupport, opts.MaxEdges)
+		set, err := opts.unitMiner()(ctx, leaves[i].DB, res.UnitSupport, opts.MaxEdges)
+		if set == nil {
+			set = make(pattern.Set)
+		}
+		res.UnitPatterns[i] = set
 		res.UnitTimes[i] = time.Since(t0)
+		unitErrs[i] = err
 	}
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for i := range leaves {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				mineLeaf(i)
-			}(i)
+	endStage = exec.StageTimer(obs, "units")
+	err = pool.Map(ctx, len(leaves), mineLeaf)
+	endStage()
+	if err != nil {
+		return nil, err
+	}
+	for i, uerr := range unitErrs {
+		if uerr == nil {
+			continue
 		}
-		wg.Wait()
-	} else {
-		for i := range leaves {
-			mineLeaf(i)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
+		res.Degraded = append(res.Degraded, fmt.Errorf("unit %d: %w", i, uerr))
+		exec.Count(obs, "units.degraded", 1)
 	}
 
 	// Phase 2b: combine results bottom-up with merge-join.
 	t0 := time.Now()
+	endStage = exec.StageTimer(obs, "merge")
 	res.NodeSets = make(map[string]pattern.Set)
-	res.Patterns = solve(tree.Root, "", res.UnitPatterns, opts, res.NodeSets, nil, nil, &res.MergeStats)
+	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, nil, nil, &res.MergeStats, pool)
+	endStage()
+	if err != nil {
+		return nil, err
+	}
 	res.MergeTime = time.Since(t0)
 	res.Options = opts
 	return res, nil
@@ -202,30 +273,51 @@ func PartMiner(db graph.Database, opts Options) (*Result, error) {
 // nodes merge-join their children at support ⌈sup/2^level⌉. Merged sets
 // are recorded in nodeSets by tree path. When oldSets and updated are
 // non-nil (incremental mode), merges reuse the pre-update node sets to
-// limit frequency checks to updated transactions.
-func solve(n *partition.Node, path string, units []pattern.Set, opts Options,
-	nodeSets map[string]pattern.Set, oldSets map[string]pattern.Set, updated *pattern.TIDSet, stats *mergejoin.Stats) pattern.Set {
+// limit frequency checks to updated transactions. Every merge runs on
+// the shared pool and observes ctx.
+func solve(ctx context.Context, n *partition.Node, path string, units []pattern.Set, opts Options,
+	nodeSets map[string]pattern.Set, oldSets map[string]pattern.Set, updated *pattern.TIDSet,
+	stats *mergejoin.Stats, pool *exec.Pool) (pattern.Set, error) {
 	if n.IsLeaf() {
-		return units[n.UnitIndex]
+		return units[n.UnitIndex], nil
 	}
-	left := solve(n.Left, path+"0", units, opts, nodeSets, oldSets, updated, stats)
-	right := solve(n.Right, path+"1", units, opts, nodeSets, oldSets, updated, stats)
+	left, err := solve(ctx, n.Left, path+"0", units, opts, nodeSets, oldSets, updated, stats, pool)
+	if err != nil {
+		return nil, err
+	}
+	right, err := solve(ctx, n.Right, path+"1", units, opts, nodeSets, oldSets, updated, stats, pool)
+	if err != nil {
+		return nil, err
+	}
 	cfg := mergejoin.Config{
 		MinSupport:  ceilDiv(opts.MinSupport, 1<<uint(n.Level)),
 		MaxEdges:    opts.MaxEdges,
 		StrictPaper: opts.StrictPaperJoin,
 		Stats:       stats,
-	}
-	if opts.Parallel {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+		Pool:        pool,
+		Observer:    opts.Observer,
 	}
 	if oldSets != nil && updated != nil {
 		cfg.Old = oldSets[path]
 		cfg.Updated = updated
 	}
-	set := mergejoin.Merge(n.DB, left, right, cfg)
+	endStage := exec.StageTimer(opts.Observer, "merge."+nodePathLabel(path))
+	set, err := mergejoin.MergeContext(ctx, n.DB, left, right, cfg)
+	endStage()
+	if err != nil {
+		return nil, err
+	}
 	nodeSets[path] = set
-	return set
+	return set, nil
+}
+
+// nodePathLabel names a partition-tree node for stage reporting; the
+// root's empty path reads better as "root".
+func nodePathLabel(path string) string {
+	if path == "" {
+		return "root"
+	}
+	return path
 }
 
 func ceilDiv(a, b int) int {

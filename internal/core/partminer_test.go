@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -85,8 +86,8 @@ func TestPartMinerGastonDefaultMatchesGSpanUnits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gspanUnit := func(db graph.Database, minSup, maxEdges int) pattern.Set {
-		return gspan.Mine(db, gspan.Options{MinSupport: minSup, MaxEdges: maxEdges})
+	gspanUnit := func(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
+		return gspan.MineContext(ctx, db, gspan.Options{MinSupport: minSup, MaxEdges: maxEdges})
 	}
 	gspanRes, err := PartMiner(db, Options{MinSupport: 2, K: 2, MaxEdges: 4, UnitMiner: gspanUnit})
 	if err != nil {

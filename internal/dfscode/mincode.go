@@ -1,6 +1,9 @@
 package dfscode
 
-import "partminer/internal/graph"
+import (
+	"partminer/internal/exec"
+	"partminer/internal/graph"
+)
 
 // MinCode computes the minimum DFS code of a connected graph with at least
 // one edge. It returns nil for graphs with no edges (a single vertex has no
@@ -13,17 +16,35 @@ import "partminer/internal/graph"
 // realize it. This is the standard canonical-form construction used inside
 // gSpan's is-minimal check.
 func MinCode(g *graph.Graph) Code {
-	code, _ := minCode(g, nil)
+	code, _ := minCode(g, nil, nil)
+	return code
+}
+
+// MinCodeTick is MinCode with cooperative cancellation; an aborted
+// construction returns the (meaningless) partial code, so callers must
+// consult the cancellation source before using the result.
+func MinCodeTick(g *graph.Graph, tick *exec.Ticker) Code {
+	code, _ := minCode(g, nil, tick)
 	return code
 }
 
 // IsCanonical reports whether c is the minimum DFS code of the graph it
 // encodes. Miners use it to prune duplicate pattern enumerations.
 func IsCanonical(c Code) bool {
+	return IsCanonicalTick(c, nil)
+}
+
+// IsCanonicalTick is IsCanonical with cooperative cancellation: the
+// embedding scans check tick (the construction is factorial in the
+// pattern's automorphisms, so a single check can run for a long time on
+// symmetric inputs). An aborted check returns false — callers treat the
+// candidate as a duplicate and must consult the cancellation source
+// before trusting the overall result.
+func IsCanonicalTick(c Code, tick *exec.Ticker) bool {
 	if len(c) == 0 {
 		return true
 	}
-	_, cmp := minCode(c.Graph(), c)
+	_, cmp := minCode(c.Graph(), c, tick)
 	return cmp == 0
 }
 
@@ -47,8 +68,9 @@ func (m embedding) maps(v int) bool {
 // construction compares each chosen edge against abortAt and stops early as
 // soon as the codes diverge; the second return value is the comparison
 // result of the (possibly partial) minimum code against abortAt (-1 smaller,
-// 0 equal, +1 larger).
-func minCode(g *graph.Graph, abortAt Code) (Code, int) {
+// 0 equal, +1 larger). A non-nil tick aborts the embedding scans on
+// cancellation, reporting +1 (not canonical) — see IsCanonicalTick.
+func minCode(g *graph.Graph, abortAt Code, tick *exec.Ticker) (Code, int) {
 	ne := g.EdgeCount()
 	if ne == 0 {
 		if len(abortAt) == 0 {
@@ -108,6 +130,9 @@ func minCode(g *graph.Graph, abortAt Code) (Code, int) {
 			bestLE := 0
 			haveLE := false
 			for _, m := range embs {
+				if tick.Hit() {
+					return code, 1
+				}
 				le, ok := g.EdgeLabel(m.verts[rightmost], m.verts[target])
 				if !ok {
 					continue
@@ -125,6 +150,9 @@ func minCode(g *graph.Graph, abortAt Code) (Code, int) {
 			next = EdgeCode{I: rightmost, J: target, LI: liLabel, LE: bestLE, LJ: ljLabel}
 			nextEmbs = nextEmbs[:0]
 			for _, m := range embs {
+				if tick.Hit() {
+					return code, 1
+				}
 				if le, ok := g.EdgeLabel(m.verts[rightmost], m.verts[target]); ok && le == bestLE {
 					nextEmbs = append(nextEmbs, m)
 				}
@@ -140,6 +168,9 @@ func minCode(g *graph.Graph, abortAt Code) (Code, int) {
 				bestLE, bestLJ := 0, 0
 				haveF := false
 				for _, m := range embs {
+					if tick.Hit() {
+						return code, 1
+					}
 					for _, e := range g.Adj[m.verts[src]] {
 						if m.maps(e.To) {
 							continue
@@ -159,6 +190,9 @@ func minCode(g *graph.Graph, abortAt Code) (Code, int) {
 				next = EdgeCode{I: src, J: newIdx, LI: liLabel, LE: bestLE, LJ: bestLJ}
 				nextEmbs = nextEmbs[:0]
 				for _, m := range embs {
+					if tick.Hit() {
+						return code, 1
+					}
 					for _, e := range g.Adj[m.verts[src]] {
 						if m.maps(e.To) || e.Label != bestLE || g.Labels[e.To] != bestLJ {
 							continue

@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolMapRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		p := NewPool(workers)
+		n := 100
+		hit := make([]atomic.Int32, n)
+		if err := p.Map(context.Background(), n, func(i int) { hit[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hit {
+			if got := hit[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int32
+	err := p.Map(context.Background(), 50, func(int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", got, workers)
+	}
+}
+
+func TestPoolMapCancelledStopsScheduling(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	const n = 1000
+	err := p.Map(ctx, n, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == n {
+		t.Fatal("cancellation did not stop scheduling")
+	}
+}
+
+func TestPoolMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []*Pool{Serial(), NewPool(4)} {
+		ran := false
+		if err := p.Map(ctx, 10, func(int) { ran = true }); err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if ran {
+			t.Fatal("task ran under a pre-cancelled context")
+		}
+	}
+}
+
+func TestSerialPoolRunsInOrder(t *testing.T) {
+	p := Serial()
+	var order []int
+	if err := p.Map(context.Background(), 10, func(i int) { order = append(order, i) }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolSharedBudgetAcrossMaps(t *testing.T) {
+	p := NewPool(2)
+	var cur, peak atomic.Int32
+	task := func(int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Map(context.Background(), 20, task) //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("concurrent Maps exceeded shared budget: peak %d", got)
+	}
+}
+
+func TestTickerNilNeverFires(t *testing.T) {
+	var tick *Ticker
+	for i := 0; i < 10*tickInterval; i++ {
+		if tick.Hit() {
+			t.Fatal("nil ticker fired")
+		}
+	}
+	if tick.Err() != nil {
+		t.Fatal("nil ticker reported an error")
+	}
+	if NewTicker(context.Background()) != nil {
+		t.Fatal("NewTicker should elide un-cancellable contexts")
+	}
+}
+
+func TestTickerFiresAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tick := NewTicker(ctx)
+	for i := 0; i < 2*tickInterval; i++ {
+		if tick.Hit() {
+			t.Fatal("ticker fired before cancellation")
+		}
+	}
+	cancel()
+	fired := false
+	for i := 0; i < 2*tickInterval; i++ {
+		if tick.Hit() {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("ticker never fired after cancellation")
+	}
+	if !tick.Hit() {
+		t.Fatal("ticker should latch once fired")
+	}
+	if tick.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", tick.Err())
+	}
+}
+
+func TestTickerErrDetectsCancelDirectly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tick := NewTicker(ctx)
+	cancel()
+	if tick.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", tick.Err())
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	var c Collector
+	end := StageTimer(&c, "partition")
+	end()
+	for i := 0; i < 3; i++ {
+		c.StageEnd("merge", 2*time.Millisecond)
+	}
+	Count(&c, "iso", 5)
+	Count(&c, "iso", 7)
+	Count(&c, "zero", 0) // skipped
+
+	stages := c.Stages()
+	if len(stages) != 2 || stages[0].Stage != "partition" || stages[1].Stage != "merge" {
+		t.Fatalf("stages = %+v", stages)
+	}
+	if stages[1].Calls != 3 || stages[1].Total != 6*time.Millisecond {
+		t.Fatalf("merge stat = %+v", stages[1])
+	}
+	if got := c.StageTotal("merge"); got != 6*time.Millisecond {
+		t.Fatalf("StageTotal = %v", got)
+	}
+	counters := c.Counters()
+	if counters["iso"] != 12 {
+		t.Fatalf("iso counter = %d", counters["iso"])
+	}
+	if _, ok := counters["zero"]; ok {
+		t.Fatal("zero-delta counter recorded")
+	}
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				end := StageTimer(&c, "s")
+				c.Counter("n", 1)
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counters()["n"]; got != 800 {
+		t.Fatalf("counter n = %d, want 800", got)
+	}
+	if got := c.Stages()[0].Calls; got != 800 {
+		t.Fatalf("stage calls = %d, want 800", got)
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	var a, b Collector
+	m := Multi(&a, nil, &b)
+	m.StageStart("s")
+	m.StageEnd("s", time.Millisecond)
+	m.Counter("c", 2)
+	for _, c := range []*Collector{&a, &b} {
+		if c.Counters()["c"] != 2 || c.Stages()[0].Calls != 1 {
+			t.Fatalf("observer missed events: %+v %+v", c.Stages(), c.Counters())
+		}
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	if Multi(&a) != Observer(&a) {
+		t.Fatal("Multi of one should return it unwrapped")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"partminer/internal/dfscode"
+	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/pattern"
 )
@@ -133,7 +134,12 @@ func Initial(src Source, minSup int) []Candidate {
 // Backward extensions go from the rightmost vertex to a rightmost-path
 // vertex (skipping the parent tree edge and edges already in the code).
 // Forward extensions grow a new vertex from any rightmost-path vertex.
-func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool) []Candidate {
+//
+// A non-nil tick aborts the embedding scan on cancellation (projections
+// can run to millions of embeddings on dense inputs) and returns the
+// partial enumeration; callers must consult the cancellation source
+// before trusting the result.
+func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool, tick *exec.Ticker) []Candidate {
 	rmpath := code.RightmostPath()
 	rightmost := rmpath[len(rmpath)-1]
 	newIdx := code.VertexCount()
@@ -142,6 +148,9 @@ func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool
 
 	rmLabel, _ := code.VertexLabel(rightmost)
 	for _, m := range proj {
+		if tick.Hit() {
+			break
+		}
 		g := src.Graph(m.TID)
 		rv := m.Verts[rightmost]
 

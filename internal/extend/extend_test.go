@@ -73,7 +73,7 @@ func TestExtensionsAgreeWithMinCodeGrowth(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range Initial(src, 1) {
 		code := dfscode.Code{c.Edge}
-		for _, ext := range Extensions(src, code, c.Proj, false) {
+		for _, ext := range Extensions(src, code, c.Proj, false, nil) {
 			child := append(code.Clone(), ext.Edge)
 			if dfscode.IsCanonical(child) {
 				seen[child.Key()] = true
@@ -109,7 +109,7 @@ func TestExtensionsForwardOnlySuppressesCycles(t *testing.T) {
 	// Grow to the 2-edge path first.
 	var pathProj Projection
 	var pathCode dfscode.Code
-	for _, ext := range Extensions(src, code, cands[0].Proj, false) {
+	for _, ext := range Extensions(src, code, cands[0].Proj, false, nil) {
 		child := append(code.Clone(), ext.Edge)
 		if dfscode.IsCanonical(child) {
 			pathCode, pathProj = child, ext.Proj
@@ -121,7 +121,7 @@ func TestExtensionsForwardOnlySuppressesCycles(t *testing.T) {
 	// Full extensions close the triangle (a backward edge); forward-only
 	// must not.
 	sawBackward := false
-	for _, ext := range Extensions(src, pathCode, pathProj, false) {
+	for _, ext := range Extensions(src, pathCode, pathProj, false, nil) {
 		if !ext.Edge.Forward() {
 			sawBackward = true
 		}
@@ -129,7 +129,7 @@ func TestExtensionsForwardOnlySuppressesCycles(t *testing.T) {
 	if !sawBackward {
 		t.Error("expected a backward (cycle-closing) extension")
 	}
-	for _, ext := range Extensions(src, pathCode, pathProj, true) {
+	for _, ext := range Extensions(src, pathCode, pathProj, true, nil) {
 		if !ext.Edge.Forward() {
 			t.Error("forwardOnly returned a backward extension")
 		}

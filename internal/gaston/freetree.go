@@ -2,6 +2,7 @@ package gaston
 
 import (
 	"partminer/internal/dfscode"
+	"partminer/internal/exec"
 	"partminer/internal/extend"
 	"partminer/internal/graph"
 	"partminer/internal/pattern"
@@ -50,7 +51,9 @@ func embUses(m extend.Embedding, v int) bool {
 // cycles from every frequent tree finds every frequent cyclic pattern.
 // Occurrence lists stay complete under dedup-keep-first because a
 // pattern's full projection derives from any one parent's full projection.
-func mineFreeTree(db graph.Database, opts Options) (pattern.Set, Stats) {
+// tick, when non-nil, aborts enumeration cooperatively on cancellation
+// (the caller reports the resulting partial set alongside ctx.Err()).
+func mineFreeTree(db graph.Database, opts Options, tick *exec.Ticker) (pattern.Set, Stats) {
 	out := make(pattern.Set)
 	var stats Stats
 	minSup := opts.minSup()
@@ -78,9 +81,12 @@ func mineFreeTree(db graph.Database, opts Options) (pattern.Set, Stats) {
 		seenTrees := make(map[string]bool)
 		var next []treePat
 		for _, t := range level {
+			if tick.Hit() {
+				return out, stats
+			}
 			// Cyclic phase branches off every acyclic pattern.
 			if t.g.VertexCount() >= 3 {
-				closeCycles(db, t, emit, &stats, minSup, opts.MaxEdges, seenCyclic)
+				closeCycles(db, t, emit, &stats, minSup, opts.MaxEdges, seenCyclic, tick)
 			}
 			if opts.MaxEdges != 0 && t.g.EdgeCount() >= opts.MaxEdges {
 				continue
@@ -133,8 +139,11 @@ func mineFreeTree(db graph.Database, opts Options) (pattern.Set, Stats) {
 // closeCycles adds every frequent set of cycle-closing edges to the tree
 // pattern, depth first, deduplicating cyclic patterns by minimum DFS code.
 func closeCycles(db graph.Database, t treePat, emit func(*graph.Graph, extend.Projection),
-	stats *Stats, minSup, maxEdges int, seen map[string]bool) {
+	stats *Stats, minSup, maxEdges int, seen map[string]bool, tick *exec.Ticker) {
 	if maxEdges != 0 && t.g.EdgeCount() >= maxEdges {
+		return
+	}
+	if tick.Hit() {
 		return
 	}
 	type cycKey struct{ a, b, elabel int }
@@ -166,7 +175,7 @@ func closeCycles(db graph.Database, t treePat, emit func(*graph.Graph, extend.Pr
 		seen[key] = true
 		emit(cg, proj)
 		stats.Cyclic++
-		closeCycles(db, treePat{g: cg, proj: proj}, emit, stats, minSup, maxEdges, seen)
+		closeCycles(db, treePat{g: cg, proj: proj}, emit, stats, minSup, maxEdges, seen, tick)
 	}
 }
 

@@ -20,7 +20,10 @@
 package gaston
 
 import (
+	"context"
+
 	"partminer/internal/dfscode"
+	"partminer/internal/exec"
 	"partminer/internal/extend"
 	"partminer/internal/graph"
 	"partminer/internal/pattern"
@@ -65,22 +68,46 @@ func Mine(db graph.Database, opts Options) pattern.Set {
 	return set
 }
 
+// MineContext is Mine with cooperative cancellation: both engines check
+// ctx (amortized through an exec.Ticker) inside their enumeration loops
+// and abort promptly once it is cancelled. On cancellation the partial
+// set mined so far is returned together with ctx.Err(); only a nil
+// error guarantees a complete result.
+func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.Set, error) {
+	set, _, err := MineWithStatsContext(ctx, db, opts)
+	return set, err
+}
+
 // MineWithStats additionally reports the per-phase pattern counts.
 func MineWithStats(db graph.Database, opts Options) (pattern.Set, Stats) {
-	if opts.Engine == EngineFreeTree {
-		return mineFreeTree(db, opts)
+	set, stats, _ := MineWithStatsContext(context.Background(), db, opts)
+	return set, stats
+}
+
+// MineWithStatsContext combines MineContext and MineWithStats.
+func MineWithStatsContext(ctx context.Context, db graph.Database, opts Options) (pattern.Set, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
 	}
-	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set)}
+	tick := exec.NewTicker(ctx)
+	if opts.Engine == EngineFreeTree {
+		set, stats := mineFreeTree(db, opts, tick)
+		return set, stats, tick.Err()
+	}
+	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set), tick: tick}
 	// Fig. 7 line 1: find all frequent edges; every frequent edge is a
 	// (trivial) path and the root of both phases.
 	for _, c := range extend.Initial(m.src, opts.minSup()) {
+		if tick.Hit() {
+			break
+		}
 		code := dfscode.Code{c.Edge}
 		m.emitAcyclic(code, c.Proj)
 		if opts.MaxEdges == 0 || opts.MaxEdges > 1 {
 			m.growAcyclic(code, c.Proj)
 		}
 	}
-	return m.out, m.stats
+	return m.out, m.stats, tick.Err()
 }
 
 type miner struct {
@@ -88,6 +115,7 @@ type miner struct {
 	opts  Options
 	out   pattern.Set
 	stats Stats
+	tick  *exec.Ticker
 }
 
 func (m *miner) emit(code dfscode.Code, proj extend.Projection) {
@@ -112,12 +140,15 @@ func (m *miner) emitAcyclic(code dfscode.Code, proj extend.Projection) {
 // through backward extensions (Fig. 7 lines 7-14: node refinements find
 // paths and trees, other extensions find cyclic graphs).
 func (m *miner) growAcyclic(code dfscode.Code, proj extend.Projection) {
-	for _, cand := range extend.Extensions(m.src, code, proj, false) {
+	for _, cand := range extend.Extensions(m.src, code, proj, false, m.tick) {
+		if m.tick.Hit() {
+			return
+		}
 		if cand.Proj.Support() < m.opts.minSup() {
 			continue
 		}
 		child := append(code.Clone(), cand.Edge)
-		if !dfscode.IsCanonical(child) {
+		if !dfscode.IsCanonicalTick(child, m.tick) {
 			continue
 		}
 		if cand.Edge.Forward() {
@@ -140,12 +171,15 @@ func (m *miner) growAcyclic(code dfscode.Code, proj extend.Projection) {
 // growCyclic extends cyclic patterns; every frequent canonical extension
 // stays cyclic (a graph never loses its cycle by growing).
 func (m *miner) growCyclic(code dfscode.Code, proj extend.Projection) {
-	for _, cand := range extend.Extensions(m.src, code, proj, false) {
+	for _, cand := range extend.Extensions(m.src, code, proj, false, m.tick) {
+		if m.tick.Hit() {
+			return
+		}
 		if cand.Proj.Support() < m.opts.minSup() {
 			continue
 		}
 		child := append(code.Clone(), cand.Edge)
-		if !dfscode.IsCanonical(child) {
+		if !dfscode.IsCanonicalTick(child, m.tick) {
 			continue
 		}
 		m.emit(child, cand.Proj)

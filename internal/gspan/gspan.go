@@ -9,7 +9,10 @@
 package gspan
 
 import (
+	"context"
+
 	"partminer/internal/dfscode"
+	"partminer/internal/exec"
 	"partminer/internal/extend"
 	"partminer/internal/graph"
 	"partminer/internal/pattern"
@@ -34,21 +37,38 @@ func (o Options) minSup() int {
 // Mine returns every frequent connected subgraph of db with at least one
 // edge, keyed by canonical DFS code, with supports and supporting TIDs.
 func Mine(db graph.Database, opts Options) pattern.Set {
-	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set)}
+	set, _ := MineContext(context.Background(), db, opts)
+	return set
+}
+
+// MineContext is Mine with cooperative cancellation: the recursive
+// pattern-growth loop checks ctx (amortized through an exec.Ticker) and
+// aborts promptly once it is cancelled. On cancellation the partial set
+// mined so far is returned together with ctx.Err(); only a nil error
+// guarantees a complete result.
+func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set), tick: exec.NewTicker(ctx)}
 	for _, c := range extend.Initial(m.src, opts.minSup()) {
+		if m.tick.Hit() {
+			break
+		}
 		code := dfscode.Code{c.Edge}
 		m.emit(code, c.Proj)
 		if opts.MaxEdges == 0 || opts.MaxEdges > 1 {
 			m.grow(code, c.Proj)
 		}
 	}
-	return m.out
+	return m.out, m.tick.Err()
 }
 
 type miner struct {
 	src  extend.Source
 	opts Options
 	out  pattern.Set
+	tick *exec.Ticker
 }
 
 func (m *miner) emit(code dfscode.Code, proj extend.Projection) {
@@ -62,12 +82,15 @@ func (m *miner) emit(code dfscode.Code, proj extend.Projection) {
 // grow extends a canonical frequent code by every frequent canonical
 // rightmost-path extension, depth first.
 func (m *miner) grow(code dfscode.Code, proj extend.Projection) {
-	for _, cand := range extend.Extensions(m.src, code, proj, false) {
+	for _, cand := range extend.Extensions(m.src, code, proj, false, m.tick) {
+		if m.tick.Hit() {
+			return
+		}
 		if cand.Proj.Support() < m.opts.minSup() {
 			continue
 		}
 		child := append(code.Clone(), cand.Edge)
-		if !dfscode.IsCanonical(child) {
+		if !dfscode.IsCanonicalTick(child, m.tick) {
 			continue
 		}
 		m.emit(child, cand.Proj)

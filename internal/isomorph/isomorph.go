@@ -12,7 +12,10 @@
 // definition of supergraph.
 package isomorph
 
-import "partminer/internal/graph"
+import (
+	"partminer/internal/exec"
+	"partminer/internal/graph"
+)
 
 // matchOrder returns an order over pattern vertices such that each vertex
 // after the first is adjacent to an earlier one, starting from the vertex
@@ -76,6 +79,10 @@ type matcher struct {
 	order   []int
 	mapping []int  // pattern vertex -> target vertex, -1 if unmapped
 	used    []bool // target vertex already used
+	// tick, when non-nil, aborts the backtracking search on cooperative
+	// cancellation; an aborted search reports "no match" and the caller
+	// is expected to discard the result after observing the context.
+	tick *exec.Ticker
 }
 
 func newMatcher(target, pattern *graph.Graph) *matcher {
@@ -114,6 +121,9 @@ func (m *matcher) feasible(pv, tv int) bool {
 // order. visit is called with the complete mapping; returning false stops
 // the search.
 func (m *matcher) match(idx int, visit func(mapping []int) bool) bool {
+	if m.tick.Hit() {
+		return false // cancelled: abandon the search
+	}
 	if idx == len(m.order) {
 		return visit(m.mapping)
 	}
@@ -167,14 +177,24 @@ func (m *matcher) match(idx int, visit func(mapping []int) bool) bool {
 // target is a supergraph of pattern in the paper's terminology. The empty
 // pattern is contained in every graph.
 func Contains(target, pattern *graph.Graph) bool {
+	return ContainsTick(target, pattern, nil)
+}
+
+// ContainsTick is Contains with cooperative cancellation: when tick
+// fires mid-search the search is abandoned and false is returned, so
+// callers must check the cancellation source before trusting a negative
+// answer. A nil ticker makes it identical to Contains.
+func ContainsTick(target, pattern *graph.Graph, tick *exec.Ticker) bool {
 	if pattern.VertexCount() == 0 {
 		return true
 	}
 	if pattern.VertexCount() > target.VertexCount() || pattern.EdgeCount() > target.EdgeCount() {
 		return false
 	}
+	m := newMatcher(target, pattern)
+	m.tick = tick
 	found := false
-	newMatcher(target, pattern).match(0, func([]int) bool {
+	m.match(0, func([]int) bool {
 		found = true
 		return false
 	})

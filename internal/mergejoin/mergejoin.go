@@ -21,9 +21,11 @@
 package mergejoin
 
 import (
+	"context"
 	"sync"
 
 	"partminer/internal/dfscode"
+	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/isomorph"
 	"partminer/internal/pattern"
@@ -49,9 +51,16 @@ type Config struct {
 	Old     pattern.Set
 	Updated *pattern.TIDSet
 
-	// Workers > 1 verifies candidates concurrently (candidate checks are
-	// independent given the previous level's read-only pattern set).
-	Workers int
+	// Pool, when non-nil, verifies candidates concurrently on the shared
+	// execution pool (candidate checks are independent given the previous
+	// level's read-only pattern set). The pool is typically owned by the
+	// enclosing PartMiner run so the whole run stays inside one
+	// concurrency budget; nil verifies serially.
+	Pool *exec.Pool
+
+	// Observer, when non-nil, receives the merge's work counters
+	// (candidates, prunes, isomorphism tests, ...).
+	Observer exec.Observer
 
 	// Stats, when non-nil, accumulates counters about the merge.
 	Stats *Stats
@@ -97,6 +106,20 @@ func (c Config) minSup() int {
 // entry i is a piece of s[i]. Transaction ids in p0/p1 must refer to the
 // shared index space.
 func Merge(s graph.Database, p0, p1 pattern.Set, cfg Config) pattern.Set {
+	set, _ := MergeContext(context.Background(), s, p0, p1, cfg)
+	return set
+}
+
+// MergeContext is Merge with cooperative cancellation: candidate
+// generation and verification check ctx (amortized) and abort promptly
+// once it is cancelled, returning ctx.Err(). Only a nil error
+// guarantees a complete recovery; on cancellation the returned set is
+// nil.
+func MergeContext(ctx context.Context, s graph.Database, p0, p1 pattern.Set, cfg Config) (pattern.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tick := exec.NewTicker(ctx)
 	minSup := cfg.minSup()
 	result := make(pattern.Set)
 
@@ -122,6 +145,9 @@ func Merge(s graph.Database, p0, p1 pattern.Set, cfg Config) pattern.Set {
 	fset := make(map[string]bool)
 
 	for k := 1; len(cur) > 0 && (cfg.MaxEdges == 0 || k < cfg.MaxEdges); k++ {
+		if err := tick.Err(); err != nil {
+			return nil, err
+		}
 		cands := make(map[string]*candidate)
 
 		// Unit patterns of size k+1 enter the pool with their unit TIDs as
@@ -166,13 +192,16 @@ func Merge(s graph.Database, p0, p1 pattern.Set, cfg Config) pattern.Set {
 			incremental := cfg.Old != nil && cfg.Updated != nil
 			triples := edgeTriples(result)
 			for _, q := range cur {
+				if tick.Hit() {
+					break
+				}
 				var qUpd *pattern.TIDSet
 				if incremental && q.TIDs != nil {
 					qUpd = q.TIDs.Intersect(cfg.Updated)
 				}
 				qKey := q.Code.Key()
 				for _, ext := range extensions(q.Code.Graph(), triples, q.TIDs, minSup, qUpd) {
-					addExtensionCandidate(cands, ext, qKey)
+					addExtensionCandidate(cands, ext, qKey, tick)
 				}
 			}
 			if incremental {
@@ -195,7 +224,11 @@ func Merge(s graph.Database, p0, p1 pattern.Set, cfg Config) pattern.Set {
 		for _, p := range sized(by1, k+1) {
 			unitKeys[p.Code.Key()] = true
 		}
-		for key, p := range verifyAll(s, cands, cur, minSup, cfg) {
+		verified, err := verifyAll(ctx, s, cands, cur, minSup, cfg, tick)
+		if err != nil {
+			return nil, err
+		}
+		for key, p := range verified {
 			next[key] = p
 			result[key] = p
 			if !unitKeys[key] {
@@ -205,12 +238,17 @@ func Merge(s graph.Database, p0, p1 pattern.Set, cfg Config) pattern.Set {
 		cur = next
 		fset = nextF
 	}
-	return result
+	if err := tick.Err(); err != nil {
+		return nil, err
+	}
+	return result, nil
 }
 
-// verifyAll checks every candidate against S, concurrently when
-// cfg.Workers > 1, and returns the frequent ones.
-func verifyAll(s graph.Database, cands map[string]*candidate, cur pattern.Set, minSup int, cfg Config) pattern.Set {
+// verifyAll checks every candidate against S — on cfg.Pool when one is
+// provided, serially otherwise — and returns the frequent ones. A
+// cancellation observed through tick aborts verification and returns
+// the context error.
+func verifyAll(ctx context.Context, s graph.Database, cands map[string]*candidate, cur pattern.Set, minSup int, cfg Config, tick *exec.Ticker) (pattern.Set, error) {
 	type item struct {
 		key string
 		c   *candidate
@@ -224,61 +262,60 @@ func verifyAll(s graph.Database, cands map[string]*candidate, cur pattern.Set, m
 		}
 	}
 
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-
 	out := make(pattern.Set, len(items)/2)
 	total := Stats{Candidates: int64(len(items)), UnitSeeded: unitSeeded}
-	if workers <= 1 {
+	if cfg.Pool == nil || cfg.Pool.Workers() == 1 || len(items) < 2 {
 		for _, it := range items {
-			if p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &total); p != nil {
+			if tick.Hit() {
+				return nil, tick.Err()
+			}
+			if p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &total, tick); p != nil {
 				out[it.key] = p
 				total.Frequent++
 			}
 		}
 	} else {
 		var mu sync.Mutex
-		var wg sync.WaitGroup
-		chunk := (len(items) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(items) {
-				hi = len(items)
+		err := cfg.Pool.Map(ctx, len(items), func(i int) {
+			it := items[i]
+			var st Stats
+			p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &st, tick)
+			if p != nil {
+				st.Frequent++
 			}
-			if lo >= hi {
-				break
+			mu.Lock()
+			if p != nil {
+				out[it.key] = p
 			}
-			wg.Add(1)
-			go func(part []item) {
-				defer wg.Done()
-				local := make(pattern.Set)
-				var st Stats
-				for _, it := range part {
-					if p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &st); p != nil {
-						local[it.key] = p
-						st.Frequent++
-					}
-				}
-				mu.Lock()
-				for k, p := range local {
-					out[k] = p
-				}
-				total.add(&st)
-				mu.Unlock()
-			}(items[lo:hi])
+			total.add(&st)
+			mu.Unlock()
+		})
+		if err != nil {
+			return nil, err
 		}
-		wg.Wait()
+	}
+	if err := tick.Err(); err != nil {
+		return nil, err
 	}
 	if cfg.Stats != nil {
 		cfg.Stats.add(&total)
 	}
-	return out
+	reportStats(cfg.Observer, &total)
+	return out, nil
+}
+
+// reportStats mirrors one merge's counters into the observer under the
+// "merge." namespace.
+func reportStats(o exec.Observer, st *Stats) {
+	if o == nil {
+		return
+	}
+	exec.Count(o, "merge.candidates", st.Candidates)
+	exec.Count(o, "merge.unit_seeded", st.UnitSeeded)
+	exec.Count(o, "merge.pruned", st.Pruned)
+	exec.Count(o, "merge.iso_tests", st.IsoTests)
+	exec.Count(o, "merge.carried_tids", st.CarriedTIDs)
+	exec.Count(o, "merge.frequent", st.Frequent)
 }
 
 // candidate is a (k+1)-edge pattern awaiting verification.
@@ -348,8 +385,8 @@ func addCandidate(cands map[string]*candidate, g *graph.Graph, tids *pattern.TID
 // into ext, so the parent pattern and the added-edge endpoints travel with
 // the candidate to cheapen its Apriori check. The candidate keeps ext's
 // own vertex numbering (an isomorphic relabeling of the canonical form).
-func addExtensionCandidate(cands map[string]*candidate, ext extCandidate, parentKey string) {
-	code := dfscode.MinCode(ext.g)
+func addExtensionCandidate(cands map[string]*candidate, ext extCandidate, parentKey string, tick *exec.Ticker) {
+	code := dfscode.MinCodeTick(ext.g, tick)
 	key := code.Key()
 	if _, ok := cands[key]; ok {
 		return // first arrival wins; extension candidates carry no TIDs
@@ -370,7 +407,7 @@ func addExtensionCandidate(cands map[string]*candidate, ext extCandidate, parent
 // (cfg.Old/cfg.Updated set) the supporters of a previously frequent
 // pattern among unchanged transactions carry over without testing. It
 // returns nil for infrequent or pruned candidates.
-func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set, minSup int, cfg Config, st *Stats) *pattern.Pattern {
+func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set, minSup int, cfg Config, st *Stats, tick *exec.Ticker) *pattern.Pattern {
 	var inter *pattern.TIDSet
 	narrow := func(subKey string) bool {
 		parent, ok := cur[subKey]
@@ -414,7 +451,7 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 					if sub == nil {
 						continue // disconnecting removal: not a constraint
 					}
-					sk = dfscode.MinCode(sub).Key()
+					sk = dfscode.MinCodeTick(sub, tick).Key()
 				}
 				collected = append(collected, sk)
 				if !narrow(sk) {
@@ -422,7 +459,11 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 				}
 			}
 		}
-		storeSubKeys(key, collected)
+		if tick.Err() == nil {
+			// Never cache keys computed under a fired ticker: an aborted
+			// MinCodeTick yields garbage that would outlive this run.
+			storeSubKeys(key, collected)
+		}
 	}
 	if inter == nil {
 		// No TID information: fall back to scanning every transaction.
@@ -442,13 +483,16 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 	support := 0
 	count := func(candidateTIDs *pattern.TIDSet) {
 		for _, tid := range candidateTIDs.Slice() {
+			if tick.Hit() {
+				return // cancelled: the partial count is discarded upstream
+			}
 			if c.guaranteed.Contains(tid) {
 				tids.Add(tid)
 				support++
 				continue
 			}
 			st.IsoTests++
-			if isomorph.Contains(s[tid], c.g) {
+			if isomorph.ContainsTick(s[tid], c.g, tick) {
 				tids.Add(tid)
 				support++
 			}

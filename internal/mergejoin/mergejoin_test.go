@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"partminer/internal/dfscode"
+	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/gspan"
 	"partminer/internal/partition"
@@ -265,7 +266,7 @@ func TestMergeParallelWorkersEqualSerial(t *testing.T) {
 	p1 := gspan.Mine(d1, gspan.Options{MinSupport: 1, MaxEdges: 4})
 	serial := Merge(db, p0, p1, Config{MinSupport: 2, MaxEdges: 4})
 	for _, workers := range []int{2, 4, 16} {
-		par := Merge(db, p0, p1, Config{MinSupport: 2, MaxEdges: 4, Workers: workers})
+		par := Merge(db, p0, p1, Config{MinSupport: 2, MaxEdges: 4, Pool: exec.NewPool(workers)})
 		if !par.Equal(serial) {
 			t.Fatalf("workers=%d diff: %v", workers, par.Diff(serial))
 		}

@@ -15,6 +15,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"partminer/internal/gaston"
@@ -68,8 +69,19 @@ type Stats struct {
 
 // BuildIndex mines db for frequent subgraphs and builds the index.
 func BuildIndex(db graph.Database, opts IndexOptions) *Index {
+	ix, _ := BuildIndexContext(context.Background(), db, opts)
+	return ix
+}
+
+// BuildIndexContext is BuildIndex with cooperative cancellation of the
+// feature-mining phase (the expensive part of index construction). On
+// cancellation it returns nil and ctx.Err().
+func BuildIndexContext(ctx context.Context, db graph.Database, opts IndexOptions) (*Index, error) {
 	opts = opts.normalize(len(db))
-	set := gaston.Mine(db, gaston.Options{MinSupport: opts.MinSupport, MaxEdges: opts.MaxFeatureEdges})
+	set, err := gaston.MineContext(ctx, db, gaston.Options{MinSupport: opts.MinSupport, MaxEdges: opts.MaxFeatureEdges})
+	if err != nil {
+		return nil, err
+	}
 	ix := &Index{db: db, opts: opts, edgeTIDs: make(map[[3]int]*pattern.TIDSet)}
 	for _, by := range set.BySize() {
 		for _, p := range by {
@@ -98,7 +110,7 @@ func BuildIndex(db graph.Database, opts IndexOptions) *Index {
 			}
 		}
 	}
-	return ix
+	return ix, nil
 }
 
 // FeatureCount returns the number of multi-edge index features.

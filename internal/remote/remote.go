@@ -6,6 +6,12 @@
 // and a client-side core.UnitMiner that farms units out over TCP using
 // the standard library's net/rpc.
 //
+// Execution integrates with internal/exec: Pool.MineUnit takes the
+// run's context, derives a per-call deadline from it (shipped to the
+// worker so the remote mine is bounded too), fails a unit over to the
+// next worker once before degrading to the empty set, and reports RPC
+// traffic into an optional exec.Observer.
+//
 // Wire format: unit databases travel in the gSpan text format
 // (internal/graph), pattern sets in the line format of
 // pattern.FormatPattern — both human-readable, both already exercised by
@@ -14,12 +20,16 @@ package remote
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"partminer/internal/exec"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
 	"partminer/internal/pattern"
@@ -34,6 +44,11 @@ type MineUnitArgs struct {
 	MaxEdges   int
 	// FreeTreeEngine selects Gaston's free-tree engine on the worker.
 	FreeTreeEngine bool
+	// DeadlineUnixMilli, when non-zero, is the coordinator's context
+	// deadline (Unix milliseconds): the worker mines under the same
+	// deadline so a cancelled coordinator does not leave runaway remote
+	// work behind. Zero means no deadline.
+	DeadlineUnixMilli int64
 }
 
 // MineUnitReply carries the unit's frequent patterns.
@@ -54,15 +69,24 @@ func (m *Miner) MineUnit(args MineUnitArgs, reply *MineUnitReply) error {
 	if err != nil {
 		return fmt.Errorf("remote: parse unit database: %w", err)
 	}
+	ctx := context.Background()
+	if args.DeadlineUnixMilli > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(args.DeadlineUnixMilli))
+		defer cancel()
+	}
 	engine := gaston.EngineDFSCode
 	if args.FreeTreeEngine {
 		engine = gaston.EngineFreeTree
 	}
-	set := gaston.Mine(db, gaston.Options{
+	set, err := gaston.MineContext(ctx, db, gaston.Options{
 		MinSupport: args.MinSupport,
 		MaxEdges:   args.MaxEdges,
 		Engine:     engine,
 	})
+	if err != nil {
+		return fmt.Errorf("remote: mine unit: %w", err)
+	}
 	var buf bytes.Buffer
 	if err := pattern.WriteSet(&buf, set); err != nil {
 		return fmt.Errorf("remote: serialize patterns: %w", err)
@@ -94,9 +118,13 @@ func Serve(l net.Listener) error {
 // core.Options.Parallel the units run concurrently across the fleet.
 type Pool struct {
 	clients []*rpc.Client
+	addrs   []string
 	next    atomic.Int64
 	// FreeTreeEngine asks workers to use Gaston's free-tree engine.
 	FreeTreeEngine bool
+	// Observer, when non-nil, receives RPC counters ("remote.rpc",
+	// "remote.rpc_errors", "remote.failover").
+	Observer exec.Observer
 
 	mu       sync.Mutex
 	lastErrs []error
@@ -115,6 +143,7 @@ func Dial(addrs ...string) (*Pool, error) {
 			return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 		}
 		p.clients = append(p.clients, c)
+		p.addrs = append(p.addrs, addr)
 	}
 	return p, nil
 }
@@ -133,15 +162,20 @@ func (p *Pool) Close() error {
 	return first
 }
 
-// MineUnit implements the core.UnitMiner contract against the fleet. RPC
-// or serialization failures are recorded (see Err) and yield an empty
-// pattern set, which PartMiner's extension-based merge-join tolerates:
-// unit results are accelerators, so the run stays correct, only slower.
-func (p *Pool) MineUnit(db graph.Database, minSup, maxEdges int) pattern.Set {
+// MineUnit implements the core.UnitMiner contract against the fleet.
+// The unit goes to the next worker round-robin; if that call fails the
+// unit is retried on the following worker (one failover round) before
+// degrading: the error is recorded (see Err), returned for
+// core.Result.Degraded, and an empty pattern set is yielded, which
+// PartMiner's extension-based merge-join tolerates — unit results are
+// accelerators, so the run stays correct, only slower. The context
+// bounds every RPC: its deadline travels to the worker and cancellation
+// abandons the in-flight call.
+func (p *Pool) MineUnit(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
 	var buf bytes.Buffer
 	if err := graph.WriteDatabase(&buf, db); err != nil {
 		p.recordErr(err)
-		return make(pattern.Set)
+		return make(pattern.Set), err
 	}
 	args := MineUnitArgs{
 		DBText:         buf.Bytes(),
@@ -149,18 +183,60 @@ func (p *Pool) MineUnit(db graph.Database, minSup, maxEdges int) pattern.Set {
 		MaxEdges:       maxEdges,
 		FreeTreeEngine: p.FreeTreeEngine,
 	}
-	client := p.clients[int(p.next.Add(1)-1)%len(p.clients)]
+	if dl, ok := ctx.Deadline(); ok {
+		args.DeadlineUnixMilli = dl.UnixMilli()
+	}
+
+	first := int(p.next.Add(1)-1) % len(p.clients)
+	attempts := 2 // the chosen worker plus one failover
+	if attempts > len(p.clients) {
+		attempts = len(p.clients)
+	}
+	var errs []error
+	for a := 0; a < attempts; a++ {
+		i := (first + a) % len(p.clients)
+		set, err := p.call(ctx, i, args, len(db))
+		if err == nil {
+			if a > 0 {
+				exec.Count(p.Observer, "remote.failover", 1)
+			}
+			return set, nil
+		}
+		errs = append(errs, fmt.Errorf("worker %s: %w", p.addrs[i], err))
+		exec.Count(p.Observer, "remote.rpc_errors", 1)
+		if ctx.Err() != nil {
+			break // cancellation fails every worker; stop the round
+		}
+	}
+	err := errors.Join(errs...)
+	p.recordErr(err)
+	return make(pattern.Set), err
+}
+
+// call runs one MineUnit RPC against worker i under ctx: cancellation
+// abandons the call (net/rpc cannot interrupt an in-flight request, but
+// the worker stops on its own via the shipped deadline once the
+// coordinator's context carries one).
+func (p *Pool) call(ctx context.Context, i int, args MineUnitArgs, dbLen int) (pattern.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	exec.Count(p.Observer, "remote.rpc", 1)
 	var reply MineUnitReply
-	if err := client.Call("Miner.MineUnit", args, &reply); err != nil {
-		p.recordErr(err)
-		return make(pattern.Set)
+	done := p.clients[i].Go("Miner.MineUnit", args, &reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case c := <-done.Done:
+		if c.Error != nil {
+			return nil, c.Error
+		}
 	}
-	set, err := pattern.ReadSet(bytes.NewReader(reply.SetText), len(db))
+	set, err := pattern.ReadSet(bytes.NewReader(reply.SetText), dbLen)
 	if err != nil {
-		p.recordErr(err)
-		return make(pattern.Set)
+		return nil, err
 	}
-	return set
+	return set, nil
 }
 
 func (p *Pool) recordErr(err error) {
@@ -169,14 +245,12 @@ func (p *Pool) recordErr(err error) {
 	p.mu.Unlock()
 }
 
-// Err returns the first error any unit mining hit, or nil. Callers check
-// it after a PartMiner run to distinguish "fast path degraded" from
-// "all good".
+// Err returns every error unit mining hit, combined with errors.Join,
+// or nil if the run was clean. Callers check it after a PartMiner run to
+// distinguish "fast path degraded" from "all good"; core.Result.Degraded
+// carries the same information per unit without the side channel.
 func (p *Pool) Err() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.lastErrs) == 0 {
-		return nil
-	}
-	return p.lastErrs[0]
+	return errors.Join(p.lastErrs...)
 }

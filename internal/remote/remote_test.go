@@ -1,11 +1,15 @@
 package remote
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"net"
+	"strings"
 	"testing"
 
 	"partminer/internal/core"
+	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/gspan"
 )
@@ -100,6 +104,97 @@ func TestPoolDegradesGracefully(t *testing.T) {
 	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 3})
 	if !res.Patterns.Equal(want) {
 		t.Fatalf("degraded run lost exactness: %v", res.Patterns.Diff(want))
+	}
+}
+
+func TestPoolFailsOverToNextWorker(t *testing.T) {
+	// One dead worker in a fleet of two: every unit lands on the healthy
+	// worker after one failover, so nothing degrades.
+	addrs := startWorkers(t, 2)
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.clients[0].Close()
+	col := &exec.Collector{}
+	pool.Observer = col
+
+	rng := rand.New(rand.NewSource(6))
+	db := graph.RandomDatabase(rng, 8, 5, 7, 2, 2)
+	res, err := core.PartMiner(db, core.Options{MinSupport: 2, K: 4, MaxEdges: 3, UnitMiner: pool.MineUnit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) != 0 {
+		t.Fatalf("failover should keep every unit healthy; degraded: %v", res.Degraded)
+	}
+	if pool.Err() != nil {
+		t.Errorf("successful failovers must not record errors: %v", pool.Err())
+	}
+	if col.Counters()["remote.failover"] == 0 {
+		t.Error("expected failover counter > 0")
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 3})
+	if !res.Patterns.Equal(want) {
+		t.Fatalf("failover run diff: %v", res.Patterns.Diff(want))
+	}
+}
+
+func TestPoolErrJoinsAllErrors(t *testing.T) {
+	// Both workers dead: every unit records a joined two-worker error,
+	// surfaces in Result.Degraded, and the run stays exact (units are
+	// accelerators, not a correctness dependency).
+	addrs := startWorkers(t, 2)
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.clients[0].Close()
+	pool.clients[1].Close()
+
+	rng := rand.New(rand.NewSource(7))
+	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
+	res, err := core.PartMiner(db, core.Options{MinSupport: 2, K: 2, MaxEdges: 3, UnitMiner: pool.MineUnit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) != 2 {
+		t.Fatalf("Degraded = %v; want one entry per unit", res.Degraded)
+	}
+	joined := pool.Err()
+	if joined == nil {
+		t.Fatal("expected joined errors")
+	}
+	for _, addr := range addrs {
+		if !strings.Contains(joined.Error(), addr) {
+			t.Errorf("joined error should name worker %s: %v", addr, joined)
+		}
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: 2, MaxEdges: 3})
+	if !res.Patterns.Equal(want) {
+		t.Fatalf("all-degraded run lost exactness: %v", res.Patterns.Diff(want))
+	}
+}
+
+func TestPoolMineUnitCancelled(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	_, err = pool.MineUnit(ctx, graph.Database{g}, 1, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
 	}
 }
 

@@ -32,10 +32,12 @@
 package partminer
 
 import (
+	"context"
 	"io"
 
 	"partminer/internal/core"
 	"partminer/internal/datagen"
+	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/partition"
 	"partminer/internal/pattern"
@@ -106,9 +108,34 @@ const (
 // NewGraph returns an empty graph with the given id.
 func NewGraph(id int) *Graph { return graph.New(id) }
 
+// UnitMiner is the per-unit mining contract (see core.UnitMiner): it
+// must observe ctx and report failures so degraded units surface in
+// Result.Degraded.
+type UnitMiner = core.UnitMiner
+
+// Observer receives execution events (stage timings, work counters)
+// from every layer of a mining run; set it via Options.Observer.
+type Observer = exec.Observer
+
+// PhaseCollector is a ready-made Observer aggregating the per-phase
+// breakdown (partition / unit mining / merge) the paper's §5 tables
+// report; its String method renders the table.
+type PhaseCollector = exec.Collector
+
+// NewPhaseCollector returns an empty, ready-to-use PhaseCollector.
+func NewPhaseCollector() *PhaseCollector { return &exec.Collector{} }
+
 // Mine runs PartMiner over the database (paper Fig. 11).
 func Mine(db Database, opts Options) (*Result, error) {
 	return core.PartMiner(db, opts)
+}
+
+// MineContext is Mine with cooperative cancellation: every mining layer
+// (unit miners, merge-join, isomorphism search) checks ctx and the run
+// returns ctx.Err() promptly once it is cancelled or its deadline
+// passes. Serial and parallel runs produce identical pattern sets.
+func MineContext(ctx context.Context, db Database, opts Options) (*Result, error) {
+	return core.MineContext(ctx, db, opts)
 }
 
 // MineIncremental runs IncPartMiner (paper Fig. 12): it updates prev's
@@ -116,6 +143,12 @@ func Mine(db Database, opts Options) (*Result, error) {
 // indexes of the changed graphs.
 func MineIncremental(newDB Database, updatedTIDs []int, prev *Result) (*IncResult, error) {
 	return core.IncPartMiner(newDB, updatedTIDs, prev)
+}
+
+// MineIncrementalContext is MineIncremental with cooperative
+// cancellation, mirroring MineContext.
+func MineIncrementalContext(ctx context.Context, newDB Database, updatedTIDs []int, prev *Result) (*IncResult, error) {
+	return core.IncMineContext(ctx, newDB, updatedTIDs, prev)
 }
 
 // AbsoluteSupport converts a fractional support (0.04 = the paper's 4%)
@@ -163,6 +196,12 @@ func BuildSearchIndex(db Database, opts SearchIndexOptions) *SearchIndex {
 	return query.BuildIndex(db, opts)
 }
 
+// BuildSearchIndexContext is BuildSearchIndex with cooperative
+// cancellation of the feature-mining phase.
+func BuildSearchIndexContext(ctx context.Context, db Database, opts SearchIndexOptions) (*SearchIndex, error) {
+	return query.BuildIndexContext(ctx, db, opts)
+}
+
 // SearchScan answers a containment query by scanning the whole database
 // with exact subgraph isomorphism — the unindexed baseline for
 // BuildSearchIndex.
@@ -170,7 +209,9 @@ func SearchScan(db Database, q *Graph) []int { return query.Scan(db, q) }
 
 // WorkerPool is a fleet of remote unit-mining workers (cmd/partworker);
 // pass pool.MineUnit as Options.UnitMiner (with Options.Parallel) to
-// distribute Phase 2a across machines.
+// distribute Phase 2a across machines. RPC failures fail over to the
+// next worker once, then degrade the unit — visible in Result.Degraded
+// and via pool.Err().
 type WorkerPool = remote.Pool
 
 // DialWorkers connects to unit-mining workers at the given "host:port"
