@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check clean
+.PHONY: all build vet test race bench-smoke bench-json check clean
 
 all: check
 
@@ -18,7 +18,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# bench-smoke compiles and runs every tracked micro-benchmark for a single
+# iteration — it catches benchmarks broken by refactors without paying for
+# a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkInitial|BenchmarkExtensions' -benchtime 1x ./internal/extend/
+
+# bench-json regenerates the current benchmark-trajectory snapshot
+# (BENCH_PR2.json) at full benchtime, embedding the recorded pre-change
+# baseline for side-by-side comparison.
+bench-json:
+	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR2.json -label pr2-shared-prefix-embeddings -baseline BENCH_PR2_BASELINE.json
+
+check: build vet race bench-smoke
 
 clean:
 	$(GO) clean ./...

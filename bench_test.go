@@ -6,19 +6,15 @@ package partminer
 
 import (
 	"io"
-	"math/rand"
 	"testing"
 
 	"partminer/internal/adimine"
 	"partminer/internal/bench"
 	"partminer/internal/core"
 	"partminer/internal/datagen"
-	"partminer/internal/dfscode"
 	"partminer/internal/fsg"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
-	"partminer/internal/gspan"
-	"partminer/internal/isomorph"
 )
 
 // smallScale keeps the per-iteration figure sweeps affordable under
@@ -75,52 +71,25 @@ func BenchmarkAblationJoinStrictPaper(b *testing.B) { benchFigure(b, "ablation-j
 func BenchmarkAblationUnitMiner(b *testing.B) { benchFigure(b, "ablation-miner") }
 
 // ---- substrate micro-benchmarks ----
+//
+// The five families recorded in the BENCH_*.json trajectory delegate to
+// the shared bodies in internal/bench so interactive runs and the JSON
+// snapshots measure identical work.
 
 func benchDB(n int) graph.Database {
+	if n == 200 {
+		return bench.MicroDB()
+	}
 	return datagen.Generate(datagen.Config{D: n, T: 20, N: 20, L: 200, I: 5, Seed: 7})
 }
 
-func BenchmarkMinDFSCode(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	graphs := make([]*graph.Graph, 64)
-	for i := range graphs {
-		graphs[i] = graph.RandomConnected(rng, i, 8, 12, 4, 3)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if dfscode.MinCode(graphs[i%len(graphs)]) == nil {
-			b.Fatal("nil code")
-		}
-	}
-}
+func BenchmarkMinDFSCode(b *testing.B) { bench.BenchMinDFSCode(b) }
 
-func BenchmarkSubgraphIsomorphism(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	target := graph.RandomConnected(rng, 0, 20, 30, 4, 3)
-	pat := graph.RandomConnected(rng, 1, 4, 4, 4, 3)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		isomorph.Contains(target, pat)
-	}
-}
+func BenchmarkSubgraphIsomorphism(b *testing.B) { bench.BenchSubgraphIsomorphism(b) }
 
-func BenchmarkGSpanMine(b *testing.B) {
-	db := benchDB(200)
-	sup := core.AbsoluteSupport(db, 0.04)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		gspan.Mine(db, gspan.Options{MinSupport: sup})
-	}
-}
+func BenchmarkGSpanMine(b *testing.B) { bench.BenchGSpanMine(b) }
 
-func BenchmarkGastonMine(b *testing.B) {
-	db := benchDB(200)
-	sup := core.AbsoluteSupport(db, 0.04)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		gaston.Mine(db, gaston.Options{MinSupport: sup})
-	}
-}
+func BenchmarkGastonMine(b *testing.B) { bench.BenchGastonMine(b) }
 
 func BenchmarkFSGMine(b *testing.B) {
 	db := benchDB(200)
@@ -151,16 +120,7 @@ func BenchmarkADIMine(b *testing.B) {
 	}
 }
 
-func BenchmarkPartMinerK2(b *testing.B) {
-	db := benchDB(200)
-	sup := core.AbsoluteSupport(db, 0.04)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.PartMiner(db, core.Options{MinSupport: sup, K: 2}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkPartMinerK2(b *testing.B) { bench.BenchPartMinerK2(b) }
 
 func BenchmarkIncPartMiner(b *testing.B) {
 	db := benchDB(200)

@@ -3,11 +3,18 @@
 // on a scaled-down dataset; see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results.
 //
+// With -benchjson it instead measures the tracked substrate
+// micro-benchmarks (internal/bench.Micros) and writes one point of the
+// benchmark trajectory — a BENCH_*.json snapshot of ns/op, B/op and
+// allocs/op per family — optionally embedding the baseline snapshot it
+// should be compared against.
+//
 // Usage:
 //
 //	benchrunner -fig 14a            # one figure
 //	benchrunner -fig all            # every figure and ablation
 //	benchrunner -fig 16b -d50k 1200 # larger scale
+//	benchrunner -benchjson BENCH_PR2.json -label pr2 -baseline BENCH_PR2_BASELINE.json
 package main
 
 import (
@@ -23,7 +30,18 @@ func main() {
 	d50k := flag.Int("d50k", bench.DefaultScale.D50k, "graphs standing in for the paper's 50k-graph datasets")
 	d100k := flag.Int("d100k", bench.DefaultScale.D100k, "graphs standing in for the paper's 100k-graph datasets")
 	maxEdges := flag.Int("maxedges", 0, "bound pattern size (0 = unbounded, the paper's setting); set when shrinking the scale far below the defaults")
+	benchJSON := flag.String("benchjson", "", "measure the tracked micro-benchmarks and write a trajectory snapshot to this path (skips figures)")
+	label := flag.String("label", "", "label recorded in the -benchjson snapshot (e.g. the PR name)")
+	baseline := flag.String("baseline", "", "snapshot file whose measurements are embedded as the -benchjson baseline")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeSnapshot(*benchJSON, *label, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	scale := bench.Scale{D50k: *d50k, D100k: *d100k, MaxEdges: *maxEdges}
 	names := []string{*fig}
@@ -38,4 +56,31 @@ func main() {
 		}
 		t.Fprint(os.Stdout)
 	}
+}
+
+// writeSnapshot measures the tracked families and writes the snapshot,
+// embedding the baseline file's measurements when one is given.
+func writeSnapshot(path, label, baselinePath string) error {
+	snap := bench.RunMicros(label, os.Stderr)
+	if baselinePath != "" {
+		f, err := os.Open(baselinePath)
+		if err != nil {
+			return fmt.Errorf("benchrunner: %w", err)
+		}
+		base, err := bench.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		snap.Baseline = base.Results
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("benchrunner: %w", err)
+	}
+	defer out.Close()
+	if err := snap.Write(out); err != nil {
+		return fmt.Errorf("benchrunner: writing %s: %w", path, err)
+	}
+	return nil
 }

@@ -254,6 +254,7 @@ func (ix *Index) FrequentEdgeCount(minSup int) int {
 func (ix *Index) Mine() pattern.Set {
 	out := make(pattern.Set)
 	minSup := ix.opts.minSup()
+	run := &minerRun{ix: ix, ext: extend.NewExtender(), memo: dfscode.NewCanonMemo()}
 	// Seed from the edge table: only frequent triples spawn projections,
 	// and only their supporting transactions are decoded.
 	type seed struct {
@@ -288,31 +289,42 @@ func (ix *Index) Mine() pattern.Set {
 			for u := 0; u < g.VertexCount(); u++ {
 				for _, e := range g.Adj[u] {
 					if g.Labels[u] == li && e.Label == le && g.Labels[e.To] == lj {
-						proj = append(proj, extend.Embedding{TID: tid, Verts: []int{u, e.To}})
+						proj = append(proj, run.ext.Seed(tid, u, e.To))
 					}
 				}
 			}
 		}
-		out.Add(&pattern.Pattern{Code: code.Clone(), Support: proj.Support(), TIDs: proj.TIDs(ix.Len())})
+		ptids := proj.TIDs(ix.Len())
+		out.Add(&pattern.Pattern{Code: code.Clone(), Support: ptids.Count(), TIDs: ptids})
 		if ix.opts.MaxEdges == 0 || ix.opts.MaxEdges > 1 {
-			ix.grow(code, proj, out)
+			run.grow(code, proj, out)
 		}
 	}
 	return out
 }
 
-func (ix *Index) grow(code dfscode.Code, proj extend.Projection, out pattern.Set) {
-	for _, cand := range extend.Extensions(ix, code, proj, false, nil) {
+// minerRun carries one Mine call's allocation state: the embedding arena
+// plus extension scratch, and the canonicality memo.
+type minerRun struct {
+	ix   *Index
+	ext  *extend.Extender
+	memo *dfscode.CanonMemo
+}
+
+func (r *minerRun) grow(code dfscode.Code, proj extend.Projection, out pattern.Set) {
+	ix := r.ix
+	for _, cand := range r.ext.Extensions(ix, code, proj, false, nil) {
 		if cand.Proj.Support() < ix.opts.minSup() {
 			continue
 		}
 		child := append(code.Clone(), cand.Edge)
-		if !dfscode.IsCanonical(child) {
+		if !r.memo.IsCanonicalTick(child, nil) {
 			continue
 		}
-		out.Add(&pattern.Pattern{Code: child.Clone(), Support: cand.Proj.Support(), TIDs: cand.Proj.TIDs(ix.Len())})
+		tids := cand.Proj.TIDs(ix.Len())
+		out.Add(&pattern.Pattern{Code: child.Clone(), Support: tids.Count(), TIDs: tids})
 		if ix.opts.MaxEdges == 0 || len(child) < ix.opts.MaxEdges {
-			ix.grow(child, cand.Proj, out)
+			r.grow(child, cand.Proj, out)
 		}
 	}
 }
@@ -381,5 +393,9 @@ func decodeGraph(raw []byte) *graph.Graph {
 		u, v, l := get(), get(), get()
 		g.MustAddEdge(u, v, l)
 	}
+	// Decoded graphs are private to the index, so establishing the sorted
+	// adjacency invariant here is free determinism-wise and lets the
+	// extension enumerator's EdgeLabel probes binary-search.
+	g.SortAdjacency()
 	return g
 }

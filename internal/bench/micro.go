@@ -1,0 +1,175 @@
+package bench
+
+// micro.go hosts the substrate micro-benchmarks as reusable bodies, so the
+// same code backs `go test -bench` (via the root bench_test.go) and the
+// benchmark-trajectory snapshots cmd/benchrunner writes to BENCH_*.json.
+// Keeping one body per benchmark family guarantees the JSON trajectory and
+// the interactive runs measure identical work.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"partminer/internal/core"
+	"partminer/internal/datagen"
+	"partminer/internal/dfscode"
+	"partminer/internal/gaston"
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+	"partminer/internal/isomorph"
+)
+
+// MicroDB returns the shared 200-graph dataset the substrate
+// micro-benchmarks mine (cached across calls).
+func MicroDB() graph.Database {
+	return dataset(datagen.Config{D: 200, T: 20, N: 20, L: 200, I: 5, Seed: 7})
+}
+
+// MicroSupport is the absolute support the mining micro-benchmarks use
+// (the paper's 4% threshold over MicroDB).
+func MicroSupport() int {
+	return core.AbsoluteSupport(MicroDB(), 0.04)
+}
+
+// BenchGSpanMine mines MicroDB with gSpan once per iteration.
+func BenchGSpanMine(b *testing.B) {
+	db, sup := MicroDB(), MicroSupport()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gspan.Mine(db, gspan.Options{MinSupport: sup})
+	}
+}
+
+// BenchGastonMine mines MicroDB with Gaston (DFS-code engine).
+func BenchGastonMine(b *testing.B) {
+	db, sup := MicroDB(), MicroSupport()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gaston.Mine(db, gaston.Options{MinSupport: sup})
+	}
+}
+
+// BenchSubgraphIsomorphism runs one containment test per iteration.
+func BenchSubgraphIsomorphism(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	target := graph.RandomConnected(rng, 0, 20, 30, 4, 3)
+	pat := graph.RandomConnected(rng, 1, 4, 4, 4, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		isomorph.Contains(target, pat)
+	}
+}
+
+// BenchMinDFSCode canonicalizes a pool of random connected graphs.
+func BenchMinDFSCode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := make([]*graph.Graph, 64)
+	for i := range graphs {
+		graphs[i] = graph.RandomConnected(rng, i, 8, 12, 4, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dfscode.MinCode(graphs[i%len(graphs)]) == nil {
+			b.Fatal("nil code")
+		}
+	}
+}
+
+// BenchPartMinerK2 runs the full two-unit PartMiner pipeline.
+func BenchPartMinerK2(b *testing.B) {
+	db, sup := MicroDB(), MicroSupport()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PartMiner(db, core.Options{MinSupport: sup, K: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro is one named micro-benchmark family tracked in the BENCH_*.json
+// trajectory.
+type Micro struct {
+	Name  string
+	Bench func(*testing.B)
+}
+
+// Micros lists the tracked families in reporting order.
+func Micros() []Micro {
+	return []Micro{
+		{"BenchmarkGSpanMine", BenchGSpanMine},
+		{"BenchmarkGastonMine", BenchGastonMine},
+		{"BenchmarkSubgraphIsomorphism", BenchSubgraphIsomorphism},
+		{"BenchmarkMinDFSCode", BenchMinDFSCode},
+		{"BenchmarkPartMinerK2", BenchPartMinerK2},
+	}
+}
+
+// Measurement is one benchmark family's result in a snapshot.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is one point of the benchmark trajectory: the tracked micro
+// families measured at one commit, optionally alongside the baseline they
+// are compared against (the pre-change numbers for the same families).
+type Snapshot struct {
+	Label    string        `json:"label"`
+	GoOS     string        `json:"goos"`
+	GoArch   string        `json:"goarch"`
+	Results  []Measurement `json:"benchmarks"`
+	Baseline []Measurement `json:"baseline,omitempty"`
+}
+
+// RunMicros measures every tracked family with testing.Benchmark (default
+// benchtime) and returns the snapshot. progress, when non-nil, receives a
+// line per family as it completes.
+func RunMicros(label string, progress io.Writer) Snapshot {
+	snap := Snapshot{Label: label, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, m := range Micros() {
+		r := testing.Benchmark(m.Bench)
+		meas := Measurement{
+			Name:        m.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		snap.Results = append(snap.Results, meas)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-30s %12.0f ns/op %12d B/op %10d allocs/op\n",
+				meas.Name, meas.NsPerOp, meas.BytesPerOp, meas.AllocsPerOp)
+		}
+	}
+	return snap
+}
+
+// LoadSnapshot reads a snapshot written by Snapshot.Write (or hand-recorded in
+// the same schema).
+func LoadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("bench: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Write serializes the snapshot as indented JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"partminer/internal/dfscode"
 	"partminer/internal/exec"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
@@ -199,6 +200,11 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// One canonicality memo for the whole run: units of the same database
+	// re-derive many of the same DFS codes, and IsCanonical verdicts are
+	// pure functions of the code, so every unit miner (and both engines)
+	// can share the verdict cache through the context.
+	ctx = dfscode.WithMemo(ctx)
 	obs := opts.Observer
 	res := &Result{}
 

@@ -74,6 +74,14 @@ func TestPartMinerParallelEqualsSerial(t *testing.T) {
 	if !serial.Patterns.Equal(par.Patterns) {
 		t.Fatalf("parallel result differs: %v", serial.Patterns.Diff(par.Patterns))
 	}
+	// Support equality is not enough: the emit paths derive support from
+	// the TID bitsets, so the bitsets themselves must match too.
+	for key, p := range serial.Patterns {
+		q := par.Patterns[key]
+		if p.TIDs == nil || q.TIDs == nil || !p.TIDs.Equal(q.TIDs) {
+			t.Errorf("%s: serial TIDs %v, parallel TIDs %v", p.Code, p.TIDs, q.TIDs)
+		}
+	}
 	if par.ParallelTime() > par.AggregateTime() {
 		t.Error("parallel time should not exceed aggregate time")
 	}

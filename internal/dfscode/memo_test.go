@@ -1,0 +1,71 @@
+package dfscode
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"partminer/internal/graph"
+)
+
+func TestCanonMemoAgreesAndCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cm := NewCanonMemo()
+	var codes []Code
+	for i := 0; i < 20; i++ {
+		g := graph.RandomConnected(rng, i, 3+rng.Intn(5), 8, 3, 2)
+		codes = append(codes, MinCode(g))
+	}
+	for _, c := range codes {
+		want := IsCanonical(c)
+		if got := cm.IsCanonicalTick(c, nil); got != want {
+			t.Fatalf("memoized verdict %v != direct %v for %s", got, want, c)
+		}
+	}
+	if cm.Len() != len(dedupKeys(codes)) {
+		t.Errorf("memo holds %d verdicts; want %d", cm.Len(), len(dedupKeys(codes)))
+	}
+	// Second pass answers from cache and must agree.
+	for _, c := range codes {
+		if got := cm.IsCanonicalTick(c, nil); got != IsCanonical(c) {
+			t.Fatalf("cached verdict flipped for %s", c)
+		}
+	}
+	if cm.Len() != len(dedupKeys(codes)) {
+		t.Errorf("second pass grew the memo to %d", cm.Len())
+	}
+}
+
+func dedupKeys(codes []Code) map[string]bool {
+	m := make(map[string]bool)
+	for _, c := range codes {
+		m[c.Key()] = true
+	}
+	return m
+}
+
+func TestCanonMemoNilReceiver(t *testing.T) {
+	var cm *CanonMemo
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(1)
+	g.MustAddEdge(0, 1, 2)
+	c := MinCode(g)
+	if !cm.IsCanonicalTick(c, nil) {
+		t.Error("nil memo should forward to the uncached check")
+	}
+}
+
+func TestWithMemoRoundTrip(t *testing.T) {
+	if MemoFrom(context.Background()) != nil {
+		t.Error("bare context should carry no memo")
+	}
+	ctx := WithMemo(context.Background())
+	cm := MemoFrom(ctx)
+	if cm == nil {
+		t.Fatal("WithMemo context lost its memo")
+	}
+	if MemoFrom(ctx) != cm {
+		t.Error("MemoFrom should return the same memo each time")
+	}
+}

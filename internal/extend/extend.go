@@ -2,6 +2,13 @@
 // shared by the gSpan and Gaston unit miners: projections (embedding lists
 // of a DFS code into database graphs) and the enumeration of candidate
 // one-edge extensions in canonical order.
+//
+// Embeddings are shared-prefix (persistent) lists: growing a pattern by
+// one edge records only the newly mapped vertex plus a pointer to the
+// parent embedding, so an extension costs O(1) space instead of copying
+// the whole vertex vector. The few operations that need the full vector
+// (rightmost-path lookup, used-vertex checks) materialize it on demand
+// into a reusable scratch buffer owned by an Extender.
 package extend
 
 import (
@@ -33,45 +40,123 @@ func (s dbSource) Graph(tid int) *graph.Graph { return s.db[tid] }
 // DB adapts an in-memory database to a Source.
 func DB(db graph.Database) Source { return dbSource{db} }
 
-// Embedding records one occurrence of a pattern in a database graph:
-// Verts[i] is the graph vertex playing DFS index i. The set of graph edges
-// covered is implied by the pattern's code, so embeddings stay cheap.
-type Embedding struct {
-	TID   int
-	Verts []int
+// embNode is one link of a shared-prefix embedding: the graph vertex
+// playing DFS index idx, chained to the node for idx-1. Nodes are
+// immutable once created, so arbitrarily many child embeddings may share
+// one prefix chain.
+type embNode struct {
+	vert int
+	idx  int // DFS index of vert (== depth-1)
+	prev *embNode
 }
 
-// maps reports whether graph vertex v is already used by the embedding.
-func (m Embedding) maps(v int) bool {
-	for _, u := range m.Verts {
-		if u == v {
+// Embedding records one occurrence of a pattern in a database graph as a
+// shared-prefix list: the tail node holds the graph vertex playing the
+// highest DFS index, its predecessor the next lower index, and so on down
+// to the root. The set of graph edges covered is implied by the pattern's
+// code, so embeddings stay cheap: extending by one vertex allocates a
+// single node, never a copy of the prefix.
+type Embedding struct {
+	TID  int
+	tail *embNode
+}
+
+// Seed returns a fresh 2-vertex embedding mapping DFS indices 0 and 1 to
+// graph vertices u and v. Both nodes live in one allocation.
+func Seed(tid, u, v int) Embedding {
+	n := &[2]embNode{{vert: u, idx: 0}, {vert: v, idx: 1}}
+	n[1].prev = &n[0]
+	return Embedding{TID: tid, tail: &n[1]}
+}
+
+// Extend returns the embedding grown by mapping the next DFS index to
+// graph vertex v. The receiver is shared, not copied. Miners should
+// prefer Extender-managed enumeration, which allocates nodes from an
+// arena; Extend is the standalone equivalent.
+func (m Embedding) Extend(v int) Embedding {
+	return Embedding{TID: m.TID, tail: &embNode{vert: v, idx: m.tail.idx + 1, prev: m.tail}}
+}
+
+// Len returns the number of mapped vertices.
+func (m Embedding) Len() int {
+	if m.tail == nil {
+		return 0
+	}
+	return m.tail.idx + 1
+}
+
+// Vertex returns the graph vertex playing DFS index i. It walks the
+// prefix chain (O(Len-i)); loops over all indices should materialize with
+// AppendVerts instead.
+func (m Embedding) Vertex(i int) int {
+	for nd := m.tail; nd != nil; nd = nd.prev {
+		if nd.idx == i {
+			return nd.vert
+		}
+	}
+	panic("extend: Vertex index out of range")
+}
+
+// Uses reports whether graph vertex v is already mapped by the embedding.
+func (m Embedding) Uses(v int) bool {
+	for nd := m.tail; nd != nil; nd = nd.prev {
+		if nd.vert == v {
 			return true
 		}
 	}
 	return false
 }
 
+// AppendVerts materializes the full DFS-index→vertex vector into buf
+// (callers pass buf[:0] to reuse its space) and returns it: out[i] is the
+// graph vertex playing DFS index i.
+func (m Embedding) AppendVerts(buf []int) []int {
+	n := m.Len()
+	if cap(buf) < n {
+		buf = make([]int, n)
+	} else {
+		buf = buf[:n]
+	}
+	for nd := m.tail; nd != nil; nd = nd.prev {
+		buf[nd.idx] = nd.vert
+	}
+	return buf
+}
+
+// Verts returns a freshly allocated DFS-index→vertex vector; tests and
+// diagnostics use it, hot paths use AppendVerts.
+func (m Embedding) Verts() []int { return m.AppendVerts(nil) }
+
 // Projection is the list of all embeddings of one pattern across the
 // database.
+//
+// Invariant: embeddings of the same transaction are contiguous and TIDs
+// are nondecreasing. Initial and Extensions build projections by scanning
+// transactions (or a parent projection) in TID order, so the invariant
+// holds by construction; Support relies on it.
 type Projection []Embedding
 
-// Support returns the number of distinct transactions in the projection.
-// Embeddings are grouped by construction (extensions preserve TID order),
-// but Support does not rely on that.
+// Support returns the number of distinct transactions in the projection
+// in a single allocation-free pass, counting TID transitions under the
+// grouped-TID invariant documented on Projection.
 func (p Projection) Support() int {
-	seen := make(map[int]struct{}, len(p))
-	for _, m := range p {
-		seen[m.TID] = struct{}{}
+	n, last := 0, -1
+	for i := range p {
+		if tid := p[i].TID; tid != last {
+			n++
+			last = tid
+		}
 	}
-	return len(seen)
+	return n
 }
 
 // TIDs returns the supporting transaction ids as a bitset sized for a
-// database of n graphs.
+// database of n graphs. Emit paths that need both the bitset and the
+// support should call this once and derive the support via Count.
 func (p Projection) TIDs(n int) *pattern.TIDSet {
 	t := pattern.NewTIDSet(n)
-	for _, m := range p {
-		t.Add(m.TID)
+	for i := range p {
+		t.Add(p[i].TID)
 	}
 	return t
 }
@@ -83,11 +168,111 @@ type Candidate struct {
 	Proj Projection
 }
 
+// arenaChunk is how many embedding nodes one arena slab holds. Nodes are
+// 24 bytes, so a slab is ~12KiB — large enough to amortize allocation to
+// noise, small enough not to hurt short runs.
+const arenaChunk = 512
+
+// nodeArena hands out embedding nodes from append-only slabs. Node
+// pointers stay valid for the arena's lifetime (slabs are never resized);
+// slabs are garbage-collected together once no embedding references them.
+type nodeArena struct {
+	cur []embNode
+}
+
+func (a *nodeArena) new(vert, idx int, prev *embNode) *embNode {
+	if len(a.cur) == cap(a.cur) {
+		a.cur = make([]embNode, 0, arenaChunk)
+	}
+	a.cur = a.cur[:len(a.cur)+1]
+	nd := &a.cur[len(a.cur)-1]
+	nd.vert, nd.idx, nd.prev = vert, idx, prev
+	return nd
+}
+
+// Extender owns the per-run allocation state of pattern growth: the node
+// arena embeddings are built from and the scratch buffers Extensions
+// materializes into. One mining run owns one Extender; it is not safe for
+// concurrent use (parallel unit miners each create their own).
+type Extender struct {
+	arena nodeArena
+
+	// verts is the materialized vertex vector of the embedding currently
+	// being extended.
+	verts []int
+	// stamp/epoch implement the per-embedding visited bitmap: graph
+	// vertex v is used by the current embedding iff stamp[v] == epoch.
+	// Epoch stamping makes clearing O(1) per embedding.
+	stamp []uint64
+	epoch uint64
+}
+
+// NewExtender returns an empty Extender.
+func NewExtender() *Extender { return &Extender{} }
+
+// seed is Seed backed by the arena.
+func (x *Extender) seed(tid, u, v int) Embedding {
+	root := x.arena.new(u, 0, nil)
+	return Embedding{TID: tid, tail: x.arena.new(v, 1, root)}
+}
+
+// Seed returns a fresh 2-vertex embedding allocated from the Extender's
+// arena; miners that build seed projections by hand (ADIMINE) use it so
+// their embeddings share the run's slabs.
+func (x *Extender) Seed(tid, u, v int) Embedding { return x.seed(tid, u, v) }
+
+// extend grows m by one vertex, allocating the node from the arena.
+func (x *Extender) extend(m Embedding, v int) Embedding {
+	return Embedding{TID: m.TID, tail: x.arena.new(v, m.tail.idx+1, m.tail)}
+}
+
+// Extend is the exported arena-backed extension used by the Gaston
+// free-tree engine's occurrence lists.
+func (x *Extender) Extend(m Embedding, v int) Embedding { return x.extend(m, v) }
+
+// mark registers verts as the current embedding's used set (the visited
+// bitmap consulted by used).
+func (x *Extender) mark(verts []int, n int) {
+	if len(x.stamp) < n {
+		x.stamp = append(x.stamp, make([]uint64, n-len(x.stamp))...)
+	}
+	x.epoch++
+	for _, v := range verts {
+		x.stamp[v] = x.epoch
+	}
+}
+
+// used reports whether graph vertex v is used by the embedding last
+// passed to mark.
+func (x *Extender) used(v int) bool { return x.stamp[v] == x.epoch }
+
+// Materialize is AppendVerts into the Extender's scratch buffer; the
+// returned slice is valid until the next Materialize, MarkUsed, or
+// Extensions call.
+func (x *Extender) Materialize(m Embedding) []int {
+	x.verts = m.AppendVerts(x.verts[:0])
+	return x.verts
+}
+
+// MarkUsed materializes m and stamps its vertices into the visited
+// bitmap of a graph with n vertices; until the next mark, IsUsed answers
+// used-vertex queries in O(1). The returned slice follows Materialize's
+// validity rule.
+func (x *Extender) MarkUsed(m Embedding, n int) []int {
+	x.verts = m.AppendVerts(x.verts[:0])
+	x.mark(x.verts, n)
+	return x.verts
+}
+
+// IsUsed reports whether graph vertex v belongs to the embedding last
+// passed to MarkUsed.
+func (x *Extender) IsUsed(v int) bool { return x.used(v) }
+
 // Initial returns the frequent 1-edge patterns of src (support >= minSup)
 // as candidates whose Edge is the canonical 1-edge code (0,1,li,le,lj)
 // with li <= lj, sorted ascending. Projections include both orientations
 // of symmetric edges, mirroring how MinCode seeds its embeddings.
-func Initial(src Source, minSup int) []Candidate {
+func (x *Extender) Initial(src Source, minSup int) []Candidate {
 	type key struct{ li, le, lj int }
 	projs := make(map[key]Projection)
 	for tid := 0; tid < src.Len(); tid++ {
@@ -105,9 +290,9 @@ func Initial(src Source, minSup int) []Candidate {
 					continue
 				}
 				k := key{lu, e.Label, lv}
-				projs[k] = append(projs[k], Embedding{TID: tid, Verts: []int{u, e.To}})
+				projs[k] = append(projs[k], x.seed(tid, u, e.To))
 				if lu == lv {
-					projs[k] = append(projs[k], Embedding{TID: tid, Verts: []int{e.To, u}})
+					projs[k] = append(projs[k], x.seed(tid, e.To, u))
 				}
 			}
 		}
@@ -126,6 +311,12 @@ func Initial(src Source, minSup int) []Candidate {
 	return out
 }
 
+// Initial is the standalone form of Extender.Initial for callers without
+// a per-run Extender (tests, one-shot tools).
+func Initial(src Source, minSup int) []Candidate {
+	return NewExtender().Initial(src, minSup)
+}
+
 // Extensions enumerates the rightmost-path one-edge extensions of code
 // over the projection, grouped by extension edge code and sorted in
 // canonical (gSpan) order. When forwardOnly is set, backward (cycle
@@ -135,11 +326,16 @@ func Initial(src Source, minSup int) []Candidate {
 // vertex (skipping the parent tree edge and edges already in the code).
 // Forward extensions grow a new vertex from any rightmost-path vertex.
 //
+// Each embedding is materialized once into the Extender's scratch buffer
+// and its used-vertex set is stamped into the visited bitmap, so the
+// per-neighbor work is O(1); forward extensions allocate a single arena
+// node each.
+//
 // A non-nil tick aborts the embedding scan on cancellation (projections
 // can run to millions of embeddings on dense inputs) and returns the
 // partial enumeration; callers must consult the cancellation source
 // before trusting the result.
-func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool, tick *exec.Ticker) []Candidate {
+func (x *Extender) Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool, tick *exec.Ticker) []Candidate {
 	rmpath := code.RightmostPath()
 	rightmost := rmpath[len(rmpath)-1]
 	newIdx := code.VertexCount()
@@ -152,7 +348,10 @@ func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool
 			break
 		}
 		g := src.Graph(m.TID)
-		rv := m.Verts[rightmost]
+		x.verts = m.AppendVerts(x.verts[:0])
+		verts := x.verts
+		x.mark(verts, g.VertexCount())
+		rv := verts[rightmost]
 
 		if !forwardOnly {
 			// Backward: rightmost vertex -> rmpath vertex, excluding the
@@ -162,7 +361,7 @@ func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool
 				if code.HasEdge(rightmost, target) {
 					continue
 				}
-				le, ok := g.EdgeLabel(rv, m.Verts[target])
+				le, ok := g.EdgeLabel(rv, verts[target])
 				if !ok {
 					continue
 				}
@@ -174,17 +373,15 @@ func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool
 
 		// Forward from every rightmost-path vertex.
 		for pi := len(rmpath) - 1; pi >= 0; pi-- {
-			src := rmpath[pi]
-			sl, _ := code.VertexLabel(src)
-			sv := m.Verts[src]
+			srcIdx := rmpath[pi]
+			sl, _ := code.VertexLabel(srcIdx)
+			sv := verts[srcIdx]
 			for _, e := range g.Adj[sv] {
-				if m.maps(e.To) {
+				if x.used(e.To) {
 					continue
 				}
-				ec := dfscode.EdgeCode{I: src, J: newIdx, LI: sl, LE: e.Label, LJ: g.Labels[e.To]}
-				nv := make([]int, len(m.Verts), len(m.Verts)+1)
-				copy(nv, m.Verts)
-				buckets[ec] = append(buckets[ec], Embedding{TID: m.TID, Verts: append(nv, e.To)})
+				ec := dfscode.EdgeCode{I: srcIdx, J: newIdx, LI: sl, LE: e.Label, LJ: g.Labels[e.To]}
+				buckets[ec] = append(buckets[ec], x.extend(m, e.To))
 			}
 		}
 	}
@@ -195,4 +392,10 @@ func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool
 	}
 	sort.Slice(out, func(i, j int) bool { return dfscode.Less(out[i].Edge, out[j].Edge) })
 	return out
+}
+
+// Extensions is the standalone form of Extender.Extensions for callers
+// without a per-run Extender (tests, one-shot tools).
+func Extensions(src Source, code dfscode.Code, proj Projection, forwardOnly bool, tick *exec.Ticker) []Candidate {
+	return NewExtender().Extensions(src, code, proj, forwardOnly, tick)
 }

@@ -138,9 +138,9 @@ func TestExtensionsForwardOnlySuppressesCycles(t *testing.T) {
 
 func TestProjectionSupportDistinctTIDs(t *testing.T) {
 	p := Projection{
-		{TID: 0, Verts: []int{0, 1}},
-		{TID: 0, Verts: []int{1, 0}},
-		{TID: 2, Verts: []int{3, 4}},
+		Seed(0, 0, 1),
+		Seed(0, 1, 0),
+		Seed(2, 3, 4),
 	}
 	if p.Support() != 2 {
 		t.Errorf("Support = %d; want 2 (distinct TIDs)", p.Support())

@@ -26,20 +26,10 @@ const (
 )
 
 // treePat is one frequent acyclic pattern with its occurrence list:
-// Proj[i].Verts[v] is the database vertex playing pattern vertex v.
+// Proj[i].Vertex(v) is the database vertex playing pattern vertex v.
 type treePat struct {
 	g    *graph.Graph
 	proj extend.Projection
-}
-
-// embeds reports whether the embedding already uses db vertex v.
-func embUses(m extend.Embedding, v int) bool {
-	for _, u := range m.Verts {
-		if u == v {
-			return true
-		}
-	}
-	return false
 }
 
 // mineFreeTree is the EngineFreeTree implementation of MineWithStats.
@@ -59,18 +49,20 @@ func mineFreeTree(db graph.Database, opts Options, tick *exec.Ticker) (pattern.S
 	minSup := opts.minSup()
 
 	emit := func(g *graph.Graph, proj extend.Projection) {
+		tids := proj.TIDs(len(db))
 		out.Add(&pattern.Pattern{
 			Code:    dfscode.MinCode(g),
-			Support: proj.Support(),
-			TIDs:    proj.TIDs(len(db)),
+			Support: tids.Count(),
+			TIDs:    tids,
 		})
 	}
 
 	seenCyclic := make(map[string]bool)
+	ext := extend.NewExtender()
 
 	// Phase seeds (Fig. 7 line 1): the frequent edges.
 	var level []treePat
-	for _, c := range extend.Initial(extend.DB(db), minSup) {
+	for _, c := range ext.Initial(extend.DB(db), minSup) {
 		g := dfscode.Code{c.Edge}.Graph()
 		level = append(level, treePat{g: g, proj: c.Proj})
 		emit(g, c.Proj)
@@ -86,7 +78,7 @@ func mineFreeTree(db graph.Database, opts Options, tick *exec.Ticker) (pattern.S
 			}
 			// Cyclic phase branches off every acyclic pattern.
 			if t.g.VertexCount() >= 3 {
-				closeCycles(db, t, emit, &stats, minSup, opts.MaxEdges, seenCyclic, tick)
+				closeCycles(db, ext, t, emit, &stats, minSup, opts.MaxEdges, seenCyclic, tick)
 			}
 			if opts.MaxEdges != 0 && t.g.EdgeCount() >= opts.MaxEdges {
 				continue
@@ -98,15 +90,14 @@ func mineFreeTree(db graph.Database, opts Options, tick *exec.Ticker) (pattern.S
 			buckets := make(map[leafKey]extend.Projection)
 			for _, m := range t.proj {
 				g := db[m.TID]
-				for pv, gv := range m.Verts {
+				verts := ext.MarkUsed(m, g.VertexCount())
+				for pv, gv := range verts {
 					for _, e := range g.Adj[gv] {
-						if embUses(m, e.To) {
+						if ext.IsUsed(e.To) {
 							continue
 						}
 						k := leafKey{pv, e.Label, g.Labels[e.To]}
-						nv := make([]int, len(m.Verts), len(m.Verts)+1)
-						copy(nv, m.Verts)
-						buckets[k] = append(buckets[k], extend.Embedding{TID: m.TID, Verts: append(nv, e.To)})
+						buckets[k] = append(buckets[k], ext.Extend(m, e.To))
 					}
 				}
 			}
@@ -138,7 +129,7 @@ func mineFreeTree(db graph.Database, opts Options, tick *exec.Ticker) (pattern.S
 
 // closeCycles adds every frequent set of cycle-closing edges to the tree
 // pattern, depth first, deduplicating cyclic patterns by minimum DFS code.
-func closeCycles(db graph.Database, t treePat, emit func(*graph.Graph, extend.Projection),
+func closeCycles(db graph.Database, ext *extend.Extender, t treePat, emit func(*graph.Graph, extend.Projection),
 	stats *Stats, minSup, maxEdges int, seen map[string]bool, tick *exec.Ticker) {
 	if maxEdges != 0 && t.g.EdgeCount() >= maxEdges {
 		return
@@ -151,12 +142,13 @@ func closeCycles(db graph.Database, t treePat, emit func(*graph.Graph, extend.Pr
 	n := t.g.VertexCount()
 	for _, m := range t.proj {
 		g := db[m.TID]
+		verts := ext.Materialize(m)
 		for a := 0; a < n; a++ {
 			for b := a + 1; b < n; b++ {
 				if t.g.HasEdge(a, b) {
 					continue
 				}
-				if le, ok := g.EdgeLabel(m.Verts[a], m.Verts[b]); ok {
+				if le, ok := g.EdgeLabel(verts[a], verts[b]); ok {
 					buckets[cycKey{a, b, le}] = append(buckets[cycKey{a, b, le}], m)
 				}
 			}
@@ -175,7 +167,7 @@ func closeCycles(db graph.Database, t treePat, emit func(*graph.Graph, extend.Pr
 		seen[key] = true
 		emit(cg, proj)
 		stats.Cyclic++
-		closeCycles(db, treePat{g: cg, proj: proj}, emit, stats, minSup, maxEdges, seen, tick)
+		closeCycles(db, ext, treePat{g: cg, proj: proj}, emit, stats, minSup, maxEdges, seen, tick)
 	}
 }
 

@@ -94,10 +94,21 @@ func MineWithStatsContext(ctx context.Context, db graph.Database, opts Options) 
 		set, stats := mineFreeTree(db, opts, tick)
 		return set, stats, tick.Err()
 	}
-	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set), tick: tick}
+	memo := dfscode.MemoFrom(ctx)
+	if memo == nil {
+		memo = dfscode.NewCanonMemo()
+	}
+	m := &miner{
+		src:  extend.DB(db),
+		opts: opts,
+		out:  make(pattern.Set),
+		tick: tick,
+		ext:  extend.NewExtender(),
+		memo: memo,
+	}
 	// Fig. 7 line 1: find all frequent edges; every frequent edge is a
 	// (trivial) path and the root of both phases.
-	for _, c := range extend.Initial(m.src, opts.minSup()) {
+	for _, c := range m.ext.Initial(m.src, opts.minSup()) {
 		if tick.Hit() {
 			break
 		}
@@ -116,13 +127,19 @@ type miner struct {
 	out   pattern.Set
 	stats Stats
 	tick  *exec.Ticker
+	// ext owns the run's embedding arena and extension scratch.
+	ext *extend.Extender
+	// memo caches IsCanonical verdicts across the run (shared across
+	// units when the context carries a PartMiner-scoped memo).
+	memo *dfscode.CanonMemo
 }
 
 func (m *miner) emit(code dfscode.Code, proj extend.Projection) {
+	tids := proj.TIDs(m.src.Len())
 	m.out.Add(&pattern.Pattern{
 		Code:    code.Clone(),
-		Support: proj.Support(),
-		TIDs:    proj.TIDs(m.src.Len()),
+		Support: tids.Count(),
+		TIDs:    tids,
 	})
 }
 
@@ -140,7 +157,7 @@ func (m *miner) emitAcyclic(code dfscode.Code, proj extend.Projection) {
 // through backward extensions (Fig. 7 lines 7-14: node refinements find
 // paths and trees, other extensions find cyclic graphs).
 func (m *miner) growAcyclic(code dfscode.Code, proj extend.Projection) {
-	for _, cand := range extend.Extensions(m.src, code, proj, false, m.tick) {
+	for _, cand := range m.ext.Extensions(m.src, code, proj, false, m.tick) {
 		if m.tick.Hit() {
 			return
 		}
@@ -148,7 +165,7 @@ func (m *miner) growAcyclic(code dfscode.Code, proj extend.Projection) {
 			continue
 		}
 		child := append(code.Clone(), cand.Edge)
-		if !dfscode.IsCanonicalTick(child, m.tick) {
+		if !m.memo.IsCanonicalTick(child, m.tick) {
 			continue
 		}
 		if cand.Edge.Forward() {
@@ -171,7 +188,7 @@ func (m *miner) growAcyclic(code dfscode.Code, proj extend.Projection) {
 // growCyclic extends cyclic patterns; every frequent canonical extension
 // stays cyclic (a graph never loses its cycle by growing).
 func (m *miner) growCyclic(code dfscode.Code, proj extend.Projection) {
-	for _, cand := range extend.Extensions(m.src, code, proj, false, m.tick) {
+	for _, cand := range m.ext.Extensions(m.src, code, proj, false, m.tick) {
 		if m.tick.Hit() {
 			return
 		}
@@ -179,7 +196,7 @@ func (m *miner) growCyclic(code dfscode.Code, proj extend.Projection) {
 			continue
 		}
 		child := append(code.Clone(), cand.Edge)
-		if !dfscode.IsCanonicalTick(child, m.tick) {
+		if !m.memo.IsCanonicalTick(child, m.tick) {
 			continue
 		}
 		m.emit(child, cand.Proj)

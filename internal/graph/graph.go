@@ -42,6 +42,12 @@ type Graph struct {
 	UFreq []float64
 
 	edges int
+
+	// sortedAdj records that every adjacency list is sorted by neighbor
+	// id (the invariant SortAdjacency establishes), which lets EdgeLabel
+	// and HasEdge binary-search. AddEdge invalidates it; RemoveEdge and
+	// SetEdgeLabel preserve relative order and keep it.
+	sortedAdj bool
 }
 
 // New returns an empty graph with the given id.
@@ -75,6 +81,7 @@ func (g *Graph) AddEdge(u, v, label int) error {
 	g.Adj[u] = append(g.Adj[u], Edge{To: v, Label: label})
 	g.Adj[v] = append(g.Adj[v], Edge{To: u, Label: label})
 	g.edges++
+	g.sortedAdj = false // the appended entries may break neighbor-id order
 	return nil
 }
 
@@ -93,25 +100,41 @@ func (g *Graph) VertexCount() int { return len(g.Labels) }
 // the graph in the paper's terminology.
 func (g *Graph) EdgeCount() int { return g.edges }
 
+// linearScanMax is the adjacency-list length below which EdgeLabel scans
+// linearly even on sorted lists; binary search only pays off past it.
+const linearScanMax = 8
+
 // HasEdge reports whether an undirected edge (u, v) exists.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= len(g.Adj) {
-		return false
-	}
-	for _, e := range g.Adj[u] {
-		if e.To == v {
-			return true
-		}
-	}
-	return false
+	_, ok := g.EdgeLabel(u, v)
+	return ok
 }
 
 // EdgeLabel returns the label of edge (u, v) and whether the edge exists.
+// After SortAdjacency it runs in O(log d) on high-degree vertices via
+// binary search on neighbor ids; otherwise (or on short lists) it falls
+// back to a linear scan.
 func (g *Graph) EdgeLabel(u, v int) (int, bool) {
 	if u < 0 || u >= len(g.Adj) {
 		return 0, false
 	}
-	for _, e := range g.Adj[u] {
+	adj := g.Adj[u]
+	if g.sortedAdj && len(adj) > linearScanMax {
+		lo, hi := 0, len(adj)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if adj[mid].To < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(adj) && adj[lo].To == v {
+			return adj[lo].Label, true
+		}
+		return 0, false
+	}
+	for _, e := range adj {
 		if e.To == v {
 			return e.Label, true
 		}
@@ -191,10 +214,11 @@ func (g *Graph) BumpUpdateFreq(v int, delta float64) {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		ID:     g.ID,
-		Labels: append([]int(nil), g.Labels...),
-		Adj:    make([][]Edge, len(g.Adj)),
-		edges:  g.edges,
+		ID:        g.ID,
+		Labels:    append([]int(nil), g.Labels...),
+		Adj:       make([][]Edge, len(g.Adj)),
+		edges:     g.edges,
+		sortedAdj: g.sortedAdj,
 	}
 	for v, adj := range g.Adj {
 		c.Adj[v] = append([]Edge(nil), adj...)
@@ -311,25 +335,24 @@ func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
 	return sub, remap
 }
 
-// SortAdjacency orders every adjacency list by (neighbor label, edge label,
-// neighbor id). Miners call this once so that extension enumeration is
-// deterministic.
+// SortAdjacency orders every adjacency list by neighbor id — a total,
+// deterministic order, because parallel edges are rejected at insertion.
+// It establishes the sorted-adjacency invariant that lets EdgeLabel and
+// HasEdge binary-search high-degree lists; the invariant survives
+// RemoveEdge and SetEdgeLabel but is invalidated by AddEdge (re-sort to
+// restore it). Callers that own their graphs (decoders, generators) can
+// call this once after construction.
 func (g *Graph) SortAdjacency() {
 	for v := range g.Adj {
 		adj := g.Adj[v]
-		sort.Slice(adj, func(i, j int) bool {
-			a, b := adj[i], adj[j]
-			la, lb := g.Labels[a.To], g.Labels[b.To]
-			if la != lb {
-				return la < lb
-			}
-			if a.Label != b.Label {
-				return a.Label < b.Label
-			}
-			return a.To < b.To
-		})
+		sort.Slice(adj, func(i, j int) bool { return adj[i].To < adj[j].To })
 	}
+	g.sortedAdj = true
 }
+
+// AdjacencySorted reports whether the sorted-adjacency invariant is
+// currently established.
+func (g *Graph) AdjacencySorted() bool { return g.sortedAdj }
 
 // String renders the graph in the same textual form Parse accepts.
 func (g *Graph) String() string {

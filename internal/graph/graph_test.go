@@ -274,15 +274,91 @@ func TestSortAdjacencyDeterministic(t *testing.T) {
 	g.MustAddEdge(0, 3, 1)
 	g.MustAddEdge(0, 2, 0)
 	g.MustAddEdge(0, 1, 0)
+	if g.AdjacencySorted() {
+		t.Error("fresh graph should not claim sorted adjacency")
+	}
 	g.SortAdjacency()
+	if !g.AdjacencySorted() {
+		t.Error("SortAdjacency should establish the invariant")
+	}
 	adj := g.Adj[0]
-	// Neighbors sorted by (vertex label, edge label, id): vertex 3 has label
-	// 0, vertex 2 label 1, vertex 1 label 2.
-	want := []int{3, 2, 1}
+	// Neighbors sorted by id — the total order EdgeLabel binary-searches.
+	want := []int{1, 2, 3}
 	for i, e := range adj {
 		if e.To != want[i] {
 			t.Fatalf("adjacency order = %v; want neighbors %v", adj, want)
 		}
+	}
+}
+
+// star builds a hub vertex 0 connected to n spokes, each edge labeled with
+// its spoke id, inserting spokes in descending order so the unsorted
+// adjacency list is reversed.
+func star(n int) *Graph {
+	g := New(0)
+	g.AddVertex(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex(1)
+	}
+	for v := n; v >= 1; v-- {
+		g.MustAddEdge(0, v, v)
+	}
+	return g
+}
+
+func TestEdgeLabelBinaryAndLinearPathsAgree(t *testing.T) {
+	// Degree 20 > linearScanMax, so the sorted graph exercises the binary
+	// search while the unsorted one exercises the linear fallback.
+	const n = 20
+	unsorted, sorted := star(n), star(n)
+	sorted.SortAdjacency()
+	if unsorted.AdjacencySorted() || !sorted.AdjacencySorted() {
+		t.Fatal("sortedness flags wrong")
+	}
+	for v := 1; v <= n; v++ {
+		lu, oku := unsorted.EdgeLabel(0, v)
+		ls, oks := sorted.EdgeLabel(0, v)
+		if !oku || !oks || lu != v || ls != v {
+			t.Fatalf("EdgeLabel(0,%d): linear=%d,%v binary=%d,%v; want %d on both paths", v, lu, oku, ls, oks, v)
+		}
+		if !sorted.HasEdge(v, 0) {
+			t.Fatalf("HasEdge(%d,0) false on sorted graph", v)
+		}
+	}
+	// Misses must agree too, including out-of-range probes.
+	for _, v := range []int{0, n + 1, -1} {
+		if _, ok := sorted.EdgeLabel(0, v); ok {
+			t.Errorf("EdgeLabel(0,%d) should miss on sorted graph", v)
+		}
+		if _, ok := unsorted.EdgeLabel(0, v); ok {
+			t.Errorf("EdgeLabel(0,%d) should miss on unsorted graph", v)
+		}
+	}
+	if sorted.HasEdge(1, 2) {
+		t.Error("spokes are not adjacent to each other")
+	}
+}
+
+func TestAddEdgeInvalidatesSortedAdjacency(t *testing.T) {
+	g2 := star(10)
+	g2.SortAdjacency()
+	if err := g2.AddEdge(0, 3, 7); err == nil {
+		t.Error("duplicate edge should be rejected under sorted adjacency")
+	}
+	if !g2.AdjacencySorted() {
+		t.Error("failed AddEdge should not invalidate the invariant")
+	}
+	if err := g2.AddEdge(1, 2, 7); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g2.AdjacencySorted() {
+		t.Error("successful AddEdge should invalidate the invariant")
+	}
+	// Clone carries the flag.
+	g3 := star(10)
+	g3.SortAdjacency()
+	if !g3.Clone().AdjacencySorted() {
+		t.Error("Clone should preserve the sorted-adjacency flag")
 	}
 }
 

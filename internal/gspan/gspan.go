@@ -50,8 +50,19 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	m := &miner{src: extend.DB(db), opts: opts, out: make(pattern.Set), tick: exec.NewTicker(ctx)}
-	for _, c := range extend.Initial(m.src, opts.minSup()) {
+	memo := dfscode.MemoFrom(ctx)
+	if memo == nil {
+		memo = dfscode.NewCanonMemo()
+	}
+	m := &miner{
+		src:  extend.DB(db),
+		opts: opts,
+		out:  make(pattern.Set),
+		tick: exec.NewTicker(ctx),
+		ext:  extend.NewExtender(),
+		memo: memo,
+	}
+	for _, c := range m.ext.Initial(m.src, opts.minSup()) {
 		if m.tick.Hit() {
 			break
 		}
@@ -69,20 +80,27 @@ type miner struct {
 	opts Options
 	out  pattern.Set
 	tick *exec.Ticker
+	// ext owns the run's embedding arena and extension scratch.
+	ext *extend.Extender
+	// memo caches IsCanonical verdicts across the run (and, when the
+	// context carries a shared memo, across every unit of a PartMiner
+	// run).
+	memo *dfscode.CanonMemo
 }
 
 func (m *miner) emit(code dfscode.Code, proj extend.Projection) {
+	tids := proj.TIDs(m.src.Len())
 	m.out.Add(&pattern.Pattern{
 		Code:    code.Clone(),
-		Support: proj.Support(),
-		TIDs:    proj.TIDs(m.src.Len()),
+		Support: tids.Count(),
+		TIDs:    tids,
 	})
 }
 
 // grow extends a canonical frequent code by every frequent canonical
 // rightmost-path extension, depth first.
 func (m *miner) grow(code dfscode.Code, proj extend.Projection) {
-	for _, cand := range extend.Extensions(m.src, code, proj, false, m.tick) {
+	for _, cand := range m.ext.Extensions(m.src, code, proj, false, m.tick) {
 		if m.tick.Hit() {
 			return
 		}
@@ -90,7 +108,7 @@ func (m *miner) grow(code dfscode.Code, proj extend.Projection) {
 			continue
 		}
 		child := append(code.Clone(), cand.Edge)
-		if !dfscode.IsCanonicalTick(child, m.tick) {
+		if !m.memo.IsCanonicalTick(child, m.tick) {
 			continue
 		}
 		m.emit(child, cand.Proj)

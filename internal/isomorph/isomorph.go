@@ -10,20 +10,37 @@
 // candidate sets. Matching is ordinary subgraph isomorphism (the target may
 // have extra edges between mapped vertices), matching the paper's
 // definition of supergraph.
+//
+// The match state (vertex order, mapping, used flags) lives in a Matcher
+// that can be prepared once per pattern and reused across targets; the
+// one-shot entry points draw Matchers from a pool, so steady-state
+// containment tests allocate nothing.
 package isomorph
 
 import (
+	"sync"
+
 	"partminer/internal/exec"
 	"partminer/internal/graph"
 )
 
-// matchOrder returns an order over pattern vertices such that each vertex
-// after the first is adjacent to an earlier one, starting from the vertex
-// with the highest degree (fail-fast). The pattern must be connected.
-func matchOrder(p *graph.Graph) []int {
+// matchOrderInto writes an order over pattern vertices into order such
+// that each vertex after the first is adjacent to an earlier one, starting
+// from the vertex with the highest degree (fail-fast). The pattern must be
+// connected. order and inOrder are scratch resized as needed and returned.
+func matchOrderInto(p *graph.Graph, order []int, inOrder []bool) ([]int, []bool) {
 	n := p.VertexCount()
+	order = order[:0]
 	if n == 0 {
-		return nil
+		return order, inOrder
+	}
+	if cap(inOrder) < n {
+		inOrder = make([]bool, n)
+	} else {
+		inOrder = inOrder[:n]
+		for i := range inOrder {
+			inOrder[i] = false
+		}
 	}
 	start := 0
 	for v := 1; v < n; v++ {
@@ -31,8 +48,6 @@ func matchOrder(p *graph.Graph) []int {
 			start = v
 		}
 	}
-	order := make([]int, 0, n)
-	inOrder := make([]bool, n)
 	order = append(order, start)
 	inOrder[start] = true
 	for len(order) < n {
@@ -71,12 +86,20 @@ func matchOrder(p *graph.Graph) []int {
 		order = append(order, best)
 		inOrder[best] = true
 	}
-	return order
+	return order, inOrder
 }
 
-type matcher struct {
-	p, t    *graph.Graph
+// Matcher is one pattern prepared for repeated containment tests: the
+// match order is computed once, and the mapping/used scratch is reused
+// across targets. A Matcher is not safe for concurrent use; callers that
+// test one pattern against many targets (support counting, query
+// verification) should prepare a Matcher instead of calling Contains in a
+// loop.
+type Matcher struct {
+	p       *graph.Graph
+	t       *graph.Graph
 	order   []int
+	inOrder []bool // matchOrderInto scratch, retained for reuse
 	mapping []int  // pattern vertex -> target vertex, -1 if unmapped
 	used    []bool // target vertex already used
 	// tick, when non-nil, aborts the backtracking search on cooperative
@@ -85,23 +108,61 @@ type matcher struct {
 	tick *exec.Ticker
 }
 
-func newMatcher(target, pattern *graph.Graph) *matcher {
-	m := &matcher{
-		p:       pattern,
-		t:       target,
-		order:   matchOrder(pattern),
-		mapping: make([]int, pattern.VertexCount()),
-		used:    make([]bool, target.VertexCount()),
+// NewMatcher prepares pattern for repeated containment tests.
+func NewMatcher(pattern *graph.Graph) *Matcher {
+	m := &Matcher{}
+	m.reset(pattern)
+	return m
+}
+
+// reset re-targets the matcher at a new pattern, reusing its scratch.
+func (m *Matcher) reset(pattern *graph.Graph) {
+	m.p = pattern
+	m.order, m.inOrder = matchOrderInto(pattern, m.order, m.inOrder)
+	n := pattern.VertexCount()
+	if cap(m.mapping) < n {
+		m.mapping = make([]int, n)
+	} else {
+		m.mapping = m.mapping[:n]
 	}
 	for i := range m.mapping {
 		m.mapping[i] = -1
 	}
+}
+
+// setTarget points the matcher at a target graph, clearing the used
+// flags. The mapping is already all -1: every search trip unwinds its
+// assignments, and early-stopped searches are re-cleared in search.
+func (m *Matcher) setTarget(target *graph.Graph) {
+	m.t = target
+	n := target.VertexCount()
+	if cap(m.used) < n {
+		m.used = make([]bool, n)
+	} else {
+		m.used = m.used[:n]
+		for i := range m.used {
+			m.used[i] = false
+		}
+	}
+}
+
+// matcherPool recycles Matchers for the one-shot entry points.
+var matcherPool = sync.Pool{New: func() any { return &Matcher{} }}
+
+func acquireMatcher(pattern *graph.Graph) *Matcher {
+	m := matcherPool.Get().(*Matcher)
+	m.reset(pattern)
 	return m
+}
+
+func releaseMatcher(m *Matcher) {
+	m.p, m.t, m.tick = nil, nil, nil // drop graph references while pooled
+	matcherPool.Put(m)
 }
 
 // feasible reports whether mapping pattern vertex pv to target vertex tv is
 // consistent with the current partial mapping.
-func (m *matcher) feasible(pv, tv int) bool {
+func (m *Matcher) feasible(pv, tv int) bool {
 	if m.used[tv] || m.p.Labels[pv] != m.t.Labels[tv] || m.t.Degree(tv) < m.p.Degree(pv) {
 		return false
 	}
@@ -120,7 +181,7 @@ func (m *matcher) feasible(pv, tv int) bool {
 // match recursively extends the mapping from position idx in the match
 // order. visit is called with the complete mapping; returning false stops
 // the search.
-func (m *matcher) match(idx int, visit func(mapping []int) bool) bool {
+func (m *Matcher) match(idx int, visit func(mapping []int) bool) bool {
 	if m.tick.Hit() {
 		return false // cancelled: abandon the search
 	}
@@ -173,6 +234,39 @@ func (m *matcher) match(idx int, visit func(mapping []int) bool) bool {
 	return true
 }
 
+// search runs one full match against target, restoring the mapping to
+// all -1 afterwards so the matcher is immediately reusable.
+func (m *Matcher) search(target *graph.Graph, visit func(mapping []int) bool) {
+	m.setTarget(target)
+	m.match(0, visit)
+	for i := range m.mapping {
+		m.mapping[i] = -1 // early-stopped searches leave assignments behind
+	}
+}
+
+// Contains reports whether the matcher's pattern is contained in target.
+func (m *Matcher) Contains(target *graph.Graph) bool {
+	return m.ContainsTick(target, nil)
+}
+
+// ContainsTick is Contains with cooperative cancellation (see the
+// package-level ContainsTick for the caveat on aborted searches).
+func (m *Matcher) ContainsTick(target *graph.Graph, tick *exec.Ticker) bool {
+	if m.p.VertexCount() == 0 {
+		return true
+	}
+	if m.p.VertexCount() > target.VertexCount() || m.p.EdgeCount() > target.EdgeCount() {
+		return false
+	}
+	m.tick = tick
+	found := false
+	m.search(target, func([]int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
 // Contains reports whether pattern is subgraph-isomorphic to target, i.e.
 // target is a supergraph of pattern in the paper's terminology. The empty
 // pattern is contained in every graph.
@@ -191,13 +285,9 @@ func ContainsTick(target, pattern *graph.Graph, tick *exec.Ticker) bool {
 	if pattern.VertexCount() > target.VertexCount() || pattern.EdgeCount() > target.EdgeCount() {
 		return false
 	}
-	m := newMatcher(target, pattern)
-	m.tick = tick
-	found := false
-	m.match(0, func([]int) bool {
-		found = true
-		return false
-	})
+	m := acquireMatcher(pattern)
+	found := m.ContainsTick(target, tick)
+	releaseMatcher(m)
 	return found
 }
 
@@ -209,34 +299,44 @@ func Embeddings(target, pattern *graph.Graph) [][]int {
 		return nil
 	}
 	var out [][]int
-	newMatcher(target, pattern).match(0, func(mapping []int) bool {
+	m := acquireMatcher(pattern)
+	m.search(target, func(mapping []int) bool {
 		out = append(out, append([]int(nil), mapping...))
 		return true
 	})
+	releaseMatcher(m)
 	return out
 }
 
 // CountEmbeddings returns the number of embeddings of pattern in target.
 func CountEmbeddings(target, pattern *graph.Graph) int {
-	n := 0
 	if pattern.VertexCount() == 0 {
 		return 0
 	}
-	newMatcher(target, pattern).match(0, func([]int) bool {
+	n := 0
+	m := acquireMatcher(pattern)
+	m.search(target, func([]int) bool {
 		n++
 		return true
 	})
+	releaseMatcher(m)
 	return n
 }
 
-// Support returns the number of graphs in db that contain pattern.
+// Support returns the number of graphs in db that contain pattern. The
+// pattern's match order is computed once and reused across transactions.
 func Support(db graph.Database, pattern *graph.Graph) int {
+	if pattern.VertexCount() == 0 {
+		return 0
+	}
+	m := acquireMatcher(pattern)
 	n := 0
 	for _, g := range db {
-		if Contains(g, pattern) {
+		if m.Contains(g) {
 			n++
 		}
 	}
+	releaseMatcher(m)
 	return n
 }
 
@@ -245,11 +345,16 @@ func Support(db graph.Database, pattern *graph.Graph) int {
 // only occur where both parents occur, so merge-join restricts counting to
 // the parents' TID intersection.
 func SupportIn(db graph.Database, pattern *graph.Graph, tids []int) int {
+	if pattern.VertexCount() == 0 {
+		return 0
+	}
+	m := acquireMatcher(pattern)
 	n := 0
 	for _, tid := range tids {
-		if Contains(db[tid], pattern) {
+		if m.Contains(db[tid]) {
 			n++
 		}
 	}
+	releaseMatcher(m)
 	return n
 }

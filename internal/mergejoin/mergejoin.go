@@ -481,6 +481,9 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 
 	tids := pattern.NewTIDSet(len(s))
 	support := 0
+	// One matcher per candidate: the match order is computed once and the
+	// scratch state is reused across every transaction tested below.
+	matcher := isomorph.NewMatcher(c.g)
 	count := func(candidateTIDs *pattern.TIDSet) {
 		for _, tid := range candidateTIDs.Slice() {
 			if tick.Hit() {
@@ -492,7 +495,7 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 				continue
 			}
 			st.IsoTests++
-			if isomorph.ContainsTick(s[tid], c.g, tick) {
+			if matcher.ContainsTick(s[tid], tick) {
 				tids.Add(tid)
 				support++
 			}

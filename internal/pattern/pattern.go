@@ -220,6 +220,27 @@ func (t *TIDSet) Union(o *TIDSet) *TIDSet {
 	return out
 }
 
+// Equal reports whether t and o contain the same tids. Trailing zero
+// words are ignored, so sets sized for different capacities still compare
+// by content.
+func (t *TIDSet) Equal(o *TIDSet) bool {
+	a, b := t.words, o.words
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	for i, w := range b {
+		if a[i] != w {
+			return false
+		}
+	}
+	for _, w := range a[len(b):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Slice returns the member tids in ascending order.
 func (t *TIDSet) Slice() []int {
 	var out []int

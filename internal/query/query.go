@@ -163,8 +163,9 @@ func (ix *Index) Candidates(q *graph.Graph) (*pattern.TIDSet, Stats) {
 func (ix *Index) Find(q *graph.Graph) ([]int, Stats) {
 	cand, st := ix.Candidates(q)
 	var out []int
+	m := isomorph.NewMatcher(q) // one match order for every candidate
 	for _, tid := range cand.Slice() {
-		if isomorph.Contains(ix.db[tid], q) {
+		if m.Contains(ix.db[tid]) {
 			out = append(out, tid)
 		}
 	}
@@ -176,8 +177,9 @@ func (ix *Index) Find(q *graph.Graph) ([]int, Stats) {
 // paradigm is measured against).
 func Scan(db graph.Database, q *graph.Graph) []int {
 	var out []int
+	m := isomorph.NewMatcher(q)
 	for tid, g := range db {
-		if isomorph.Contains(g, q) {
+		if m.Contains(g) {
 			out = append(out, tid)
 		}
 	}
