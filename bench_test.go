@@ -72,8 +72,8 @@ func BenchmarkAblationUnitMiner(b *testing.B) { benchFigure(b, "ablation-miner")
 
 // ---- substrate micro-benchmarks ----
 //
-// The five families recorded in the BENCH_*.json trajectory delegate to
-// the shared bodies in internal/bench so interactive runs and the JSON
+// The families recorded in the BENCH_*.json trajectory delegate to the
+// shared bodies in internal/bench so interactive runs and the JSON
 // snapshots measure identical work.
 
 func benchDB(n int) graph.Database {
@@ -121,6 +121,8 @@ func BenchmarkADIMine(b *testing.B) {
 }
 
 func BenchmarkPartMinerK2(b *testing.B) { bench.BenchPartMinerK2(b) }
+
+func BenchmarkIndexedSupport(b *testing.B) { bench.BenchIndexedSupport(b) }
 
 func BenchmarkIncPartMiner(b *testing.B) {
 	db := benchDB(200)

@@ -14,7 +14,13 @@
 //	benchrunner -fig 14a            # one figure
 //	benchrunner -fig all            # every figure and ablation
 //	benchrunner -fig 16b -d50k 1200 # larger scale
-//	benchrunner -benchjson BENCH_PR2.json -label pr2 -baseline BENCH_PR2_BASELINE.json
+//	benchrunner -benchjson BENCH_PR3.json -label pr3 -baseline BENCH_PR3_BASELINE.json
+//	benchrunner -diff BENCH_PR3.json -baseline BENCH_PR3_BASELINE.json
+//
+// -diff compares a recorded snapshot against a baseline without running
+// anything, exiting 1 on an allocs/op regression above 10% — the cheap CI
+// gate `make bench-diff` wires into `make check`. When -baseline is
+// omitted the snapshot's embedded baseline is used.
 package main
 
 import (
@@ -33,7 +39,16 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "measure the tracked micro-benchmarks and write a trajectory snapshot to this path (skips figures)")
 	label := flag.String("label", "", "label recorded in the -benchjson snapshot (e.g. the PR name)")
 	baseline := flag.String("baseline", "", "snapshot file whose measurements are embedded as the -benchjson baseline")
+	diff := flag.String("diff", "", "compare this recorded snapshot against -baseline (or its embedded baseline) and exit 1 on >10% allocs/op regression")
 	flag.Parse()
+
+	if *diff != "" {
+		if err := diffSnapshots(*diff, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := writeSnapshot(*benchJSON, *label, *baseline); err != nil {
@@ -56,6 +71,46 @@ func main() {
 		}
 		t.Fprint(os.Stdout)
 	}
+}
+
+// maxAllocsRegression is the bench-diff gate: allocs/op may not grow more
+// than this fraction over the recorded baseline.
+const maxAllocsRegression = 0.10
+
+// diffSnapshots loads a recorded snapshot and its baseline and fails on
+// any allocs/op regression beyond the gate.
+func diffSnapshots(snapPath, baselinePath string) error {
+	snap, err := loadSnapshotFile(snapPath)
+	if err != nil {
+		return err
+	}
+	base := bench.Snapshot{Results: snap.Baseline}
+	if baselinePath != "" {
+		if base, err = loadSnapshotFile(baselinePath); err != nil {
+			return err
+		}
+	}
+	if len(base.Results) == 0 {
+		return fmt.Errorf("benchrunner: %s embeds no baseline and no -baseline file was given", snapPath)
+	}
+	regressions := bench.CompareAllocs(snap, base, maxAllocsRegression)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, r)
+		}
+		return fmt.Errorf("benchrunner: %d allocs/op regression(s) above %.0f%%", len(regressions), maxAllocsRegression*100)
+	}
+	fmt.Printf("bench-diff: %d families within %.0f%% of baseline\n", len(snap.Results), maxAllocsRegression*100)
+	return nil
+}
+
+func loadSnapshotFile(path string) (bench.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return bench.Snapshot{}, fmt.Errorf("benchrunner: %w", err)
+	}
+	defer f.Close()
+	return bench.LoadSnapshot(f)
 }
 
 // writeSnapshot measures the tracked families and writes the snapshot,

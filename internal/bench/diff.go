@@ -1,0 +1,34 @@
+package bench
+
+// diff.go compares two benchmark-trajectory snapshots for allocation
+// regressions. Only allocs/op is gated: it is deterministic for a fixed
+// workload, so the check is stable in CI, while ns/op varies with machine
+// load and would flake.
+
+import "fmt"
+
+// CompareAllocs reports, one message per family, where cur's allocs/op
+// regressed more than maxFrac (e.g. 0.10 for 10%) over base. Families
+// missing from either snapshot are skipped: a new benchmark has no
+// baseline yet, and a retired one no current measurement. An empty result
+// means no regression.
+func CompareAllocs(cur, base Snapshot, maxFrac float64) []string {
+	baseBy := make(map[string]Measurement, len(base.Results))
+	for _, m := range base.Results {
+		baseBy[m.Name] = m
+	}
+	var regressions []string
+	for _, m := range cur.Results {
+		b, ok := baseBy[m.Name]
+		if !ok || b.AllocsPerOp == 0 {
+			continue
+		}
+		limit := int64(float64(b.AllocsPerOp) * (1 + maxFrac))
+		if m.AllocsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (limit %d, +%.0f%%)",
+				m.Name, m.AllocsPerOp, b.AllocsPerOp, limit, maxFrac*100))
+		}
+	}
+	return regressions
+}

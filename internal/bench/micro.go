@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 
 	"partminer/internal/core"
@@ -20,6 +21,7 @@ import (
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
 	"partminer/internal/gspan"
+	"partminer/internal/index"
 	"partminer/internal/isomorph"
 )
 
@@ -35,23 +37,65 @@ func MicroSupport() int {
 	return core.AbsoluteSupport(MicroDB(), 0.04)
 }
 
-// BenchGSpanMine mines MicroDB with gSpan once per iteration.
+// MicroIndex returns MicroDB's feature index (cached: the index is a
+// once-per-database artifact, so the mining benchmarks measure indexed
+// mining, not index construction).
+func MicroIndex() *index.FeatureIndex {
+	microIxOnce.Do(func() { microIx = index.Build(MicroDB()) })
+	return microIx
+}
+
+var (
+	microIxOnce sync.Once
+	microIx     *index.FeatureIndex
+)
+
+// BenchGSpanMine mines MicroDB with gSpan once per iteration, seeding
+// 1-edge projections from the shared feature index.
 func BenchGSpanMine(b *testing.B) {
-	db, sup := MicroDB(), MicroSupport()
+	db, sup, ix := MicroDB(), MicroSupport(), MicroIndex()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gspan.Mine(db, gspan.Options{MinSupport: sup})
+		gspan.Mine(db, gspan.Options{MinSupport: sup, Index: ix})
 	}
 }
 
-// BenchGastonMine mines MicroDB with Gaston (DFS-code engine).
+// BenchGastonMine mines MicroDB with Gaston (DFS-code engine), seeding
+// 1-edge projections from the shared feature index.
 func BenchGastonMine(b *testing.B) {
-	db, sup := MicroDB(), MicroSupport()
+	db, sup, ix := MicroDB(), MicroSupport(), MicroIndex()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gaston.Mine(db, gaston.Options{MinSupport: sup})
+		gaston.Mine(db, gaston.Options{MinSupport: sup, Index: ix})
+	}
+}
+
+// BenchIndexedSupport measures the indexed support-counting path — feature
+// narrowing, signature domination, then posted VF2 — over a fixed slice of
+// mined patterns.
+func BenchIndexedSupport(b *testing.B) {
+	db, sup, ix := MicroDB(), MicroSupport(), MicroIndex()
+	set := gspan.Mine(db, gspan.Options{MinSupport: sup, Index: ix})
+	var pats []*graph.Graph
+	for _, key := range set.Keys() {
+		if p := set[key]; p.Size() >= 2 {
+			pats = append(pats, p.Code.Graph())
+		}
+		if len(pats) == 16 {
+			break
+		}
+	}
+	if len(pats) == 0 {
+		b.Fatal("no multi-edge frequent patterns in MicroDB")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ix.Support(pats[i%len(pats)]) < 1 {
+			b.Fatal("frequent pattern reported unsupported")
+		}
 	}
 }
 
@@ -110,6 +154,7 @@ func Micros() []Micro {
 		{"BenchmarkSubgraphIsomorphism", BenchSubgraphIsomorphism},
 		{"BenchmarkMinDFSCode", BenchMinDFSCode},
 		{"BenchmarkPartMinerK2", BenchPartMinerK2},
+		{"BenchmarkIndexedSupport", BenchIndexedSupport},
 	}
 }
 

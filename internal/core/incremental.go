@@ -7,6 +7,7 @@ import (
 
 	"partminer/internal/exec"
 	"partminer/internal/graph"
+	"partminer/internal/index"
 	"partminer/internal/partition"
 	"partminer/internal/pattern"
 )
@@ -147,11 +148,20 @@ func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int
 	}
 
 	// IncMergeJoin chain: replay the merges with the old node sets so
-	// unchanged transactions skip frequency checks.
+	// unchanged transactions skip frequency checks. The previous run's
+	// feature index is patched in place for the updated transactions
+	// (prev adopts the post-update view too — its database reference is
+	// stale either way); a loaded result without one rebuilds fresh.
 	t0 := time.Now()
+	if prev.Index != nil {
+		prev.Index.Update(newDB, updatedTIDs)
+		res.Index = prev.Index
+	} else if res.Index, err = index.BuildContext(ctx, newDB, pool, obs); err != nil {
+		return nil, err
+	}
 	endStage = exec.StageTimer(obs, "merge")
 	res.NodeSets = make(map[string]pattern.Set)
-	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, prev.NodeSets, updated, &res.MergeStats, pool)
+	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, prev.NodeSets, updated, &res.MergeStats, pool, res.Index)
 	endStage()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"partminer/internal/graph"
+	"partminer/internal/gspan"
+)
+
+// TestPartMinerIndexPruning checks the run-level feature index actually
+// works: the result carries it, the merge-join consulted it (pruned
+// candidates by triple bitsets and transactions by signature domination),
+// and the mined set is still exact.
+func TestPartMinerIndexPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db := graph.RandomDatabase(rng, 10, 7, 10, 3, 2)
+	sup := 3
+	res, err := PartMiner(db, Options{MinSupport: sup, K: 2, MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index == nil {
+		t.Fatal("Result.Index is nil; the run must build the database feature index")
+	}
+	if res.Index.Len() != len(db) {
+		t.Fatalf("Result.Index covers %d transactions, database has %d", res.Index.Len(), len(db))
+	}
+	if res.MergeStats.SigPruned == 0 {
+		t.Error("MergeStats.SigPruned = 0; signature domination pruned nothing on the integration workload")
+	}
+	if res.MergeStats.TriplePruned == 0 {
+		t.Error("MergeStats.TriplePruned = 0; triple-bitset narrowing pruned nothing on the integration workload")
+	}
+	want := gspan.Mine(db, gspan.Options{MinSupport: sup, MaxEdges: 4})
+	if !res.Patterns.Equal(want) {
+		t.Fatalf("indexed PartMiner diverges from gSpan: %v", res.Patterns.Diff(want))
+	}
+}
+
+// TestIncPartMinerReusesIndex checks the incremental path patches the
+// previous run's index in place rather than rebuilding, and stays exact.
+func TestIncPartMinerReusesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := graph.RandomDatabase(rng, 10, 7, 10, 3, 2)
+	prev, err := PartMiner(db, Options{MinSupport: 3, K: 2, MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevIx := prev.Index
+	newDB := make(graph.Database, len(db))
+	copy(newDB, db)
+	updated := []int{1, 4, 7}
+	for _, tid := range updated {
+		newDB[tid] = graph.RandomConnected(rng, tid, 7, 10, 3, 2)
+	}
+	inc, err := IncPartMiner(newDB, updated, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Index != prevIx {
+		t.Error("incremental run rebuilt the feature index instead of patching the previous one")
+	}
+	want := gspan.Mine(newDB, gspan.Options{MinSupport: 3, MaxEdges: 4})
+	if !inc.Patterns.Equal(want) {
+		t.Fatalf("incremental indexed run diverges from gSpan: %v", inc.Patterns.Diff(want))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"partminer/internal/exec"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
+	"partminer/internal/index"
 	"partminer/internal/mergejoin"
 	"partminer/internal/partition"
 	"partminer/internal/pattern"
@@ -156,6 +157,11 @@ type Result struct {
 	// children, and so on). IncPartMiner reuses them to skip frequency
 	// checks on unchanged transactions.
 	NodeSets map[string]pattern.Set
+	// Index is the full database's feature index, built once per run and
+	// shared by the root merge-join; IncPartMiner patches it in place for
+	// updated transactions instead of rebuilding. It is not persisted —
+	// a loaded Result carries a nil Index and the next run rebuilds it.
+	Index *index.FeatureIndex
 	// Options echoes the configuration the result was produced with, so
 	// an incremental run can stay consistent with it.
 	Options Options
@@ -260,11 +266,18 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 		exec.Count(obs, "units.degraded", 1)
 	}
 
-	// Phase 2b: combine results bottom-up with merge-join.
+	// Phase 2b: combine results bottom-up with merge-join. The full
+	// database's feature index is built once here and drives the root
+	// merge's candidate pruning; inner nodes cover sub-databases and
+	// build their own inside MergeContext.
 	t0 := time.Now()
+	res.Index, err = index.BuildContext(ctx, db, pool, obs)
+	if err != nil {
+		return nil, err
+	}
 	endStage = exec.StageTimer(obs, "merge")
 	res.NodeSets = make(map[string]pattern.Set)
-	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, nil, nil, &res.MergeStats, pool)
+	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, nil, nil, &res.MergeStats, pool, res.Index)
 	endStage()
 	if err != nil {
 		return nil, err
@@ -283,15 +296,15 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 // the shared pool and observes ctx.
 func solve(ctx context.Context, n *partition.Node, path string, units []pattern.Set, opts Options,
 	nodeSets map[string]pattern.Set, oldSets map[string]pattern.Set, updated *pattern.TIDSet,
-	stats *mergejoin.Stats, pool *exec.Pool) (pattern.Set, error) {
+	stats *mergejoin.Stats, pool *exec.Pool, rootIx *index.FeatureIndex) (pattern.Set, error) {
 	if n.IsLeaf() {
 		return units[n.UnitIndex], nil
 	}
-	left, err := solve(ctx, n.Left, path+"0", units, opts, nodeSets, oldSets, updated, stats, pool)
+	left, err := solve(ctx, n.Left, path+"0", units, opts, nodeSets, oldSets, updated, stats, pool, rootIx)
 	if err != nil {
 		return nil, err
 	}
-	right, err := solve(ctx, n.Right, path+"1", units, opts, nodeSets, oldSets, updated, stats, pool)
+	right, err := solve(ctx, n.Right, path+"1", units, opts, nodeSets, oldSets, updated, stats, pool, rootIx)
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +315,12 @@ func solve(ctx context.Context, n *partition.Node, path string, units []pattern.
 		Stats:       stats,
 		Pool:        pool,
 		Observer:    opts.Observer,
+	}
+	if path == "" {
+		// The root node's database is the full database, so the run's
+		// shared feature index applies; inner nodes let MergeContext
+		// build one for their sub-database.
+		cfg.Index = rootIx
 	}
 	if oldSets != nil && updated != nil {
 		cfg.Old = oldSets[path]

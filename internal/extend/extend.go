@@ -317,6 +317,53 @@ func Initial(src Source, minSup int) []Candidate {
 	return NewExtender().Initial(src, minSup)
 }
 
+// EdgeOcc is one located occurrence of a 1-edge pattern: the edge (U, V)
+// of transaction TID, oriented so U carries the triple's smaller vertex
+// label (U < V when the labels are equal).
+type EdgeOcc struct {
+	TID, U, V int
+}
+
+// Seed1 is the occurrence list of one 1-edge label triple (LI <= LJ),
+// as precomputed by a database feature index (internal/index).
+type Seed1 struct {
+	LI, LE, LJ int
+	Occ        []EdgeOcc
+}
+
+// InitialSeeds is Initial fed from precomputed occurrence lists instead
+// of a database scan: each seed's occurrences become the projection of
+// its 1-edge pattern, with both orientations seeded for symmetric
+// triples, exactly as Initial would discover them. Seeds must be sorted
+// by (LI, LE, LJ) with occurrences in nondecreasing TID order; entries
+// below minSup are dropped. Feeding only frequent triples (the index
+// knows their supports) skips allocating infrequent embeddings entirely.
+func (x *Extender) InitialSeeds(seeds []Seed1, minSup int) []Candidate {
+	var out []Candidate
+	for _, s := range seeds {
+		n := len(s.Occ)
+		if s.LI == s.LJ {
+			n *= 2
+		}
+		proj := make(Projection, 0, n)
+		for _, o := range s.Occ {
+			proj = append(proj, x.seed(o.TID, o.U, o.V))
+			if s.LI == s.LJ {
+				proj = append(proj, x.seed(o.TID, o.V, o.U))
+			}
+		}
+		if proj.Support() < minSup {
+			continue
+		}
+		out = append(out, Candidate{
+			Edge: dfscode.EdgeCode{I: 0, J: 1, LI: s.LI, LE: s.LE, LJ: s.LJ},
+			Proj: proj,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return dfscode.Less(out[i].Edge, out[j].Edge) })
+	return out
+}
+
 // Extensions enumerates the rightmost-path one-edge extensions of code
 // over the projection, grouped by extension edge code and sorted in
 // canonical (gSpan) order. When forwardOnly is set, backward (cycle

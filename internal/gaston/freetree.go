@@ -62,7 +62,7 @@ func mineFreeTree(db graph.Database, opts Options, tick *exec.Ticker) (pattern.S
 
 	// Phase seeds (Fig. 7 line 1): the frequent edges.
 	var level []treePat
-	for _, c := range ext.Initial(extend.DB(db), minSup) {
+	for _, c := range initialCandidates(ext, extend.DB(db), opts) {
 		g := dfscode.Code{c.Edge}.Graph()
 		level = append(level, treePat{g: g, proj: c.Proj})
 		emit(g, c.Proj)

@@ -26,6 +26,7 @@ import (
 	"partminer/internal/exec"
 	"partminer/internal/extend"
 	"partminer/internal/graph"
+	"partminer/internal/index"
 	"partminer/internal/pattern"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// Engine selects the enumeration machinery; the zero value is
 	// EngineDFSCode. Both engines return identical pattern sets.
 	Engine Engine
+	// Index, when non-nil, must be the feature index of the mined
+	// database: both engines then seed their initial 1-edge projections
+	// from its per-triple occurrence lists instead of scanning the
+	// database, never allocating embeddings for infrequent triples.
+	Index *index.FeatureIndex
 }
 
 func (o Options) minSup() int {
@@ -108,7 +114,7 @@ func MineWithStatsContext(ctx context.Context, db graph.Database, opts Options) 
 	}
 	// Fig. 7 line 1: find all frequent edges; every frequent edge is a
 	// (trivial) path and the root of both phases.
-	for _, c := range m.ext.Initial(m.src, opts.minSup()) {
+	for _, c := range initialCandidates(m.ext, m.src, opts) {
 		if tick.Hit() {
 			break
 		}
@@ -119,6 +125,16 @@ func MineWithStatsContext(ctx context.Context, db graph.Database, opts Options) 
 		}
 	}
 	return m.out, m.stats, tick.Err()
+}
+
+// initialCandidates seeds the frequent 1-edge projections — from the
+// feature index's occurrence lists when one is provided, by database
+// scan otherwise. Both paths produce identical candidates.
+func initialCandidates(ext *extend.Extender, src extend.Source, opts Options) []extend.Candidate {
+	if opts.Index != nil {
+		return ext.InitialSeeds(opts.Index.Seeds(opts.minSup()), opts.minSup())
+	}
+	return ext.Initial(src, opts.minSup())
 }
 
 type miner struct {

@@ -15,6 +15,7 @@ import (
 	"partminer/internal/exec"
 	"partminer/internal/extend"
 	"partminer/internal/graph"
+	"partminer/internal/index"
 	"partminer/internal/pattern"
 )
 
@@ -25,6 +26,11 @@ type Options struct {
 	MinSupport int
 	// MaxEdges bounds the pattern size; 0 means unbounded.
 	MaxEdges int
+	// Index, when non-nil, must be the feature index of the mined
+	// database: the initial 1-edge projections are then seeded from its
+	// per-triple occurrence lists, skipping the database scan and never
+	// allocating embeddings for infrequent triples.
+	Index *index.FeatureIndex
 }
 
 func (o Options) minSup() int {
@@ -62,7 +68,7 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.
 		ext:  extend.NewExtender(),
 		memo: memo,
 	}
-	for _, c := range m.ext.Initial(m.src, opts.minSup()) {
+	for _, c := range initialCandidates(m.ext, m.src, opts) {
 		if m.tick.Hit() {
 			break
 		}
@@ -73,6 +79,16 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.
 		}
 	}
 	return m.out, m.tick.Err()
+}
+
+// initialCandidates seeds the frequent 1-edge projections — from the
+// feature index's occurrence lists when one is provided, by database
+// scan otherwise. Both paths produce identical candidates.
+func initialCandidates(ext *extend.Extender, src extend.Source, opts Options) []extend.Candidate {
+	if opts.Index != nil {
+		return ext.InitialSeeds(opts.Index.Seeds(opts.minSup()), opts.minSup())
+	}
+	return ext.Initial(src, opts.minSup())
 }
 
 type miner struct {

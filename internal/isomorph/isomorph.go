@@ -26,9 +26,14 @@ import (
 
 // matchOrderInto writes an order over pattern vertices into order such
 // that each vertex after the first is adjacent to an earlier one, starting
-// from the vertex with the highest degree (fail-fast). The pattern must be
-// connected. order and inOrder are scratch resized as needed and returned.
-func matchOrderInto(p *graph.Graph, order []int, inOrder []bool) ([]int, []bool) {
+// from the vertex with the highest degree (fail-fast). With a non-nil
+// labelFreq the start vertex is instead the one whose label is globally
+// rarest (ties broken by degree): the root is the only vertex matched by
+// a full candidate scan, so anchoring it on the rarest label minimizes
+// that scan — especially when root candidates come from per-label posting
+// lists. The pattern must be connected. order and inOrder are scratch
+// resized as needed and returned.
+func matchOrderInto(p *graph.Graph, order []int, inOrder []bool, labelFreq func(int) int) ([]int, []bool) {
 	n := p.VertexCount()
 	order = order[:0]
 	if n == 0 {
@@ -43,9 +48,18 @@ func matchOrderInto(p *graph.Graph, order []int, inOrder []bool) ([]int, []bool)
 		}
 	}
 	start := 0
-	for v := 1; v < n; v++ {
-		if p.Degree(v) > p.Degree(start) {
-			start = v
+	if labelFreq == nil {
+		for v := 1; v < n; v++ {
+			if p.Degree(v) > p.Degree(start) {
+				start = v
+			}
+		}
+	} else {
+		for v := 1; v < n; v++ {
+			fv, fs := labelFreq(p.Labels[v]), labelFreq(p.Labels[start])
+			if fv < fs || (fv == fs && p.Degree(v) > p.Degree(start)) {
+				start = v
+			}
 		}
 	}
 	order = append(order, start)
@@ -102,10 +116,27 @@ type Matcher struct {
 	inOrder []bool // matchOrderInto scratch, retained for reuse
 	mapping []int  // pattern vertex -> target vertex, -1 if unmapped
 	used    []bool // target vertex already used
+	// labelFreq, when non-nil, switches the match order's root choice to
+	// rarest-label-first (see matchOrderInto); index-backed matchers set
+	// it to the database-wide label frequency.
+	labelFreq func(int) int
+	// post, when non-nil, supplies the root candidates for the current
+	// search: only the target vertices carrying the root's label are
+	// scanned instead of all of them.
+	post VertexLister
 	// tick, when non-nil, aborts the backtracking search on cooperative
 	// cancellation; an aborted search reports "no match" and the caller
 	// is expected to discard the result after observing the context.
 	tick *exec.Ticker
+}
+
+// VertexLister provides per-label vertex posting lists for one target
+// graph; internal/index precomputes these per transaction so root
+// candidate selection is O(|vertices with the root's label|).
+type VertexLister interface {
+	// VerticesWithLabel returns the target vertices carrying label (any
+	// order; nil/empty when the label is absent).
+	VerticesWithLabel(label int) []int
 }
 
 // NewMatcher prepares pattern for repeated containment tests.
@@ -115,10 +146,19 @@ func NewMatcher(pattern *graph.Graph) *Matcher {
 	return m
 }
 
+// NewMatcherRanked is NewMatcher with the rarest-label-first root choice:
+// labelFreq reports how often a vertex label occurs database-wide, and
+// the match order starts at the pattern vertex with the rarest label.
+func NewMatcherRanked(pattern *graph.Graph, labelFreq func(int) int) *Matcher {
+	m := &Matcher{labelFreq: labelFreq}
+	m.reset(pattern)
+	return m
+}
+
 // reset re-targets the matcher at a new pattern, reusing its scratch.
 func (m *Matcher) reset(pattern *graph.Graph) {
 	m.p = pattern
-	m.order, m.inOrder = matchOrderInto(pattern, m.order, m.inOrder)
+	m.order, m.inOrder = matchOrderInto(pattern, m.order, m.inOrder, m.labelFreq)
 	n := pattern.VertexCount()
 	if cap(m.mapping) < n {
 		m.mapping = make([]int, n)
@@ -157,6 +197,7 @@ func acquireMatcher(pattern *graph.Graph) *Matcher {
 
 func releaseMatcher(m *Matcher) {
 	m.p, m.t, m.tick = nil, nil, nil // drop graph references while pooled
+	m.labelFreq, m.post = nil, nil
 	matcherPool.Put(m)
 }
 
@@ -218,6 +259,25 @@ func (m *Matcher) match(idx int, visit func(mapping []int) bool) bool {
 		}
 		return true
 	}
+	if m.post != nil {
+		// Indexed root selection: only target vertices carrying pv's
+		// label can host it (feasible re-checks the label, so a sloppy
+		// lister degrades to correctness, not wrong answers).
+		for _, tv := range m.post.VerticesWithLabel(m.p.Labels[pv]) {
+			if !m.feasible(pv, tv) {
+				continue
+			}
+			m.mapping[pv] = tv
+			m.used[tv] = true
+			cont := m.match(idx+1, visit)
+			m.mapping[pv] = -1
+			m.used[tv] = false
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
 	for tv := 0; tv < m.t.VertexCount(); tv++ {
 		if !m.feasible(pv, tv) {
 			continue
@@ -264,6 +324,16 @@ func (m *Matcher) ContainsTick(target *graph.Graph, tick *exec.Ticker) bool {
 		found = true
 		return false
 	})
+	return found
+}
+
+// ContainsPostedTick is ContainsTick with per-label root candidates: the
+// unanchored (root) scan enumerates only post.VerticesWithLabel(root's
+// label) instead of every target vertex. post must describe target.
+func (m *Matcher) ContainsPostedTick(target *graph.Graph, post VertexLister, tick *exec.Ticker) bool {
+	m.post = post
+	found := m.ContainsTick(target, tick)
+	m.post = nil
 	return found
 }
 

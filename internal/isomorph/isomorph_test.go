@@ -193,7 +193,7 @@ func TestMatchOrderConnected(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 20; i++ {
 		g := graph.RandomConnected(rng, 0, 2+rng.Intn(8), 12, 3, 2)
-		order, _ := matchOrderInto(g, nil, nil)
+		order, _ := matchOrderInto(g, nil, nil, nil)
 		if len(order) != g.VertexCount() {
 			t.Fatalf("order %v misses vertices", order)
 		}

@@ -1,0 +1,52 @@
+package mergejoin
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSubKeyCacheSurvivesOverflow verifies the memo's fractional eviction:
+// overflowing the cache must evict only a bounded slice of entries, not
+// reset the whole memo (the pre-eviction behavior this regression-tests).
+func TestSubKeyCacheSurvivesOverflow(t *testing.T) {
+	subKeyCache.Lock()
+	savedMap, savedMax := subKeyCache.m, maxSubKeyEntries
+	subKeyCache.m = make(map[string][]string)
+	subKeyCache.Unlock()
+	maxSubKeyEntries = 64
+	defer func() {
+		subKeyCache.Lock()
+		subKeyCache.m = savedMap
+		subKeyCache.Unlock()
+		maxSubKeyEntries = savedMax
+	}()
+
+	for i := 0; i < maxSubKeyEntries; i++ {
+		storeSubKeys(fmt.Sprintf("key-%d", i), []string{"sub"})
+	}
+	subKeyCache.Lock()
+	if n := len(subKeyCache.m); n != maxSubKeyEntries {
+		subKeyCache.Unlock()
+		t.Fatalf("cache holds %d entries before overflow, want %d", n, maxSubKeyEntries)
+	}
+	subKeyCache.Unlock()
+
+	// The overflowing store evicts 1/evictDenominator of the entries and
+	// then inserts, so most of the working set must survive.
+	storeSubKeys("overflow", []string{"sub"})
+	subKeyCache.Lock()
+	n := len(subKeyCache.m)
+	_, overflowKept := subKeyCache.m["overflow"]
+	subKeyCache.Unlock()
+
+	want := maxSubKeyEntries - maxSubKeyEntries/evictDenominator + 1
+	if n != want {
+		t.Errorf("cache holds %d entries after overflow, want %d (evicted 1/%d)", n, want, evictDenominator)
+	}
+	if !overflowKept {
+		t.Error("the overflowing entry itself was not stored")
+	}
+	if n < maxSubKeyEntries/2 {
+		t.Errorf("overflow dropped the cache to %d entries; eviction must be partial", n)
+	}
+}

@@ -12,13 +12,20 @@ import (
 // dominates candidate-check cost (building the removal graphs and
 // canonicalizing them), and the same patterns recur at every level of the
 // partition tree and across incremental rounds, so the memo is process
-// global. It is reset when it reaches maxSubKeyEntries to bound memory.
+// global. On reaching maxSubKeyEntries a bounded random fraction is
+// evicted so the hot working set survives overflow.
 var subKeyCache = struct {
 	sync.Mutex
 	m map[string][]string
 }{m: make(map[string][]string)}
 
-const maxSubKeyEntries = 1 << 20
+// maxSubKeyEntries bounds the memo; a variable so overflow tests can
+// lower it.
+var maxSubKeyEntries = 1 << 20
+
+// evictDenominator: on overflow, 1/evictDenominator of the entries are
+// evicted.
+const evictDenominator = 4
 
 // cachedSubKeys returns the memoized subpattern keys for a candidate key.
 func cachedSubKeys(key string) ([]string, bool) {
@@ -32,7 +39,21 @@ func cachedSubKeys(key string) ([]string, bool) {
 func storeSubKeys(key string, keys []string) {
 	subKeyCache.Lock()
 	if len(subKeyCache.m) >= maxSubKeyEntries {
-		subKeyCache.m = make(map[string][]string)
+		// Evict a bounded random fraction rather than dropping the whole
+		// memo: Go's randomized map iteration order gives an unbiased
+		// sample for free, and keeping the other entries preserves the
+		// hot working set mid-run.
+		drop := len(subKeyCache.m) / evictDenominator
+		if drop < 1 {
+			drop = 1
+		}
+		for k := range subKeyCache.m {
+			if drop == 0 {
+				break
+			}
+			delete(subKeyCache.m, k)
+			drop--
+		}
 	}
 	subKeyCache.m[key] = keys
 	subKeyCache.Unlock()

@@ -27,6 +27,7 @@ import (
 	"partminer/internal/dfscode"
 	"partminer/internal/exec"
 	"partminer/internal/graph"
+	"partminer/internal/index"
 	"partminer/internal/isomorph"
 	"partminer/internal/pattern"
 )
@@ -50,6 +51,14 @@ type Config struct {
 	// verified in full.
 	Old     pattern.Set
 	Updated *pattern.TIDSet
+
+	// Index, when non-nil, is the feature index of the dataset S being
+	// merged against (it must have been built over the same database).
+	// When nil, MergeContext builds one on Pool before the first level:
+	// the index supplies exact 1-edge supports, narrows candidate TID
+	// sets by the candidates' own label/triple bitsets, and filters
+	// isomorphism tests by signature domination.
+	Index *index.FeatureIndex
 
 	// Pool, when non-nil, verifies candidates concurrently on the shared
 	// execution pool (candidate checks are independent given the previous
@@ -76,6 +85,14 @@ type Stats struct {
 	// Pruned counts candidates eliminated by Apriori pruning or the TID
 	// intersection bound, before any isomorphism test.
 	Pruned int64
+	// TriplePruned counts candidates eliminated by intersecting their own
+	// label/triple TID bitsets (a subset of Pruned), before any
+	// subpattern canonicalization.
+	TriplePruned int64
+	// SigPruned counts per-transaction isomorphism tests skipped because
+	// the transaction's invariant signature does not dominate the
+	// candidate's.
+	SigPruned int64
 	// IsoTests counts subgraph-isomorphism invocations.
 	IsoTests int64
 	// CarriedTIDs counts supporters accepted from pre-update results
@@ -89,6 +106,8 @@ func (s *Stats) add(o *Stats) {
 	s.Candidates += o.Candidates
 	s.UnitSeeded += o.UnitSeeded
 	s.Pruned += o.Pruned
+	s.TriplePruned += o.TriplePruned
+	s.SigPruned += o.SigPruned
 	s.IsoTests += o.IsoTests
 	s.CarriedTIDs += o.CarriedTIDs
 	s.Frequent += o.Frequent
@@ -123,6 +142,17 @@ func MergeContext(ctx context.Context, s graph.Database, p0, p1 pattern.Set, cfg
 	minSup := cfg.minSup()
 	result := make(pattern.Set)
 
+	// The feature index fronts every frequency decision of the merge;
+	// build it here (in parallel on the pool) when the caller did not
+	// hand one down.
+	if cfg.Index == nil {
+		ix, err := index.BuildContext(ctx, s, cfg.Pool, cfg.Observer)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Index = ix
+	}
+
 	by0, by1 := p0.BySize(), p1.BySize()
 	sized := func(by [][]*pattern.Pattern, k int) []*pattern.Pattern {
 		if k < len(by) {
@@ -131,10 +161,12 @@ func MergeContext(ctx context.Context, s graph.Database, p0, p1 pattern.Set, cfg
 		return nil
 	}
 
-	// Level 1 (Fig. 11 line 1): exact scan of S for frequent 1-edge
-	// patterns. Unit supports undercount S (an edge pattern may be
-	// sub-threshold in one unit), so the scan is authoritative.
-	cur := frequentEdges(s, minSup)
+	// Level 1 (Fig. 11 line 1): exact frequent 1-edge patterns of S,
+	// read straight off the inverted triple index (one bitset count per
+	// distinct triple — no database scan, no isomorphism). Unit supports
+	// undercount S (an edge pattern may be sub-threshold in one unit),
+	// so the index is authoritative.
+	cur := cfg.Index.FrequentEdges(minSup)
 	for k, p := range cur {
 		result[k] = p
 	}
@@ -313,6 +345,8 @@ func reportStats(o exec.Observer, st *Stats) {
 	exec.Count(o, "merge.candidates", st.Candidates)
 	exec.Count(o, "merge.unit_seeded", st.UnitSeeded)
 	exec.Count(o, "merge.pruned", st.Pruned)
+	exec.Count(o, "merge.triple_pruned", st.TriplePruned)
+	exec.Count(o, "merge.sig_pruned", st.SigPruned)
 	exec.Count(o, "merge.iso_tests", st.IsoTests)
 	exec.Count(o, "merge.carried_tids", st.CarriedTIDs)
 	exec.Count(o, "merge.frequent", st.Frequent)
@@ -401,14 +435,31 @@ func addExtensionCandidate(cands map[string]*candidate, ext extCandidate, parent
 	}
 }
 
-// checkCandidate applies Apriori pruning (every connected one-edge-removed
-// subpattern must be frequent) and exact support counting restricted to
-// the intersection of the subpatterns' TID sets. In incremental mode
-// (cfg.Old/cfg.Updated set) the supporters of a previously frequent
-// pattern among unchanged transactions carry over without testing. It
-// returns nil for infrequent or pruned candidates.
+// checkCandidate verifies one candidate with a filter chain ordered by
+// cost: (1) the candidate's own label/triple TID bitsets from the feature
+// index bound its support before any subpattern canonicalization; (2)
+// Apriori pruning (every connected one-edge-removed subpattern must be
+// frequent) narrows the TID intersection further; (3) per transaction,
+// signature domination must hold before an exact (posted, rarest-root)
+// VF2 test runs. In incremental mode (cfg.Old/cfg.Updated set) the
+// supporters of a previously frequent pattern among unchanged
+// transactions carry over without testing. It returns nil for infrequent
+// or pruned candidates.
 func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set, minSup int, cfg Config, st *Stats, tick *exec.Ticker) *pattern.Pattern {
+	ix := cfg.Index
 	var inter *pattern.TIDSet
+	if ix != nil {
+		// Supporters of the candidate contain each of its vertex labels
+		// and edge triples, so the inverted-index intersection bounds the
+		// support from above — cheap enough to run before the Apriori
+		// check, sparing its subpattern canonicalizations when it fails.
+		inter = ix.NarrowByFeatures(c.g, nil)
+		if inter == nil || inter.Count() < minSup {
+			st.TriplePruned++
+			st.Pruned++
+			return nil
+		}
+	}
 	narrow := func(subKey string) bool {
 		parent, ok := cur[subKey]
 		if !ok {
@@ -419,7 +470,7 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 			if inter == nil {
 				inter = parent.TIDs.Clone()
 			} else {
-				inter = inter.Intersect(parent.TIDs)
+				inter.IntersectWith(parent.TIDs)
 			}
 		}
 		return true
@@ -482,8 +533,17 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 	tids := pattern.NewTIDSet(len(s))
 	support := 0
 	// One matcher per candidate: the match order is computed once and the
-	// scratch state is reused across every transaction tested below.
-	matcher := isomorph.NewMatcher(c.g)
+	// scratch state is reused across every transaction tested below. With
+	// an index the matcher roots at the globally rarest label and draws
+	// its root candidates from the transaction's posting lists.
+	var matcher *isomorph.Matcher
+	var psig *index.Signature
+	if ix != nil {
+		matcher = ix.NewMatcher(c.g)
+		psig = index.SigOf(c.g)
+	} else {
+		matcher = isomorph.NewMatcher(c.g)
+	}
 	count := func(candidateTIDs *pattern.TIDSet) {
 		for _, tid := range candidateTIDs.Slice() {
 			if tick.Hit() {
@@ -492,6 +552,18 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 			if c.guaranteed.Contains(tid) {
 				tids.Add(tid)
 				support++
+				continue
+			}
+			if ix != nil {
+				if !ix.SigDominates(tid, psig) {
+					st.SigPruned++
+					continue
+				}
+				st.IsoTests++
+				if matcher.ContainsPostedTick(s[tid], ix.Lister(tid), tick) {
+					tids.Add(tid)
+					support++
+				}
 				continue
 			}
 			st.IsoTests++
@@ -508,7 +580,7 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 			tids = old.TIDs.Minus(cfg.Updated)
 			support = tids.Count()
 			st.CarriedTIDs += int64(support)
-			count(inter.Intersect(cfg.Updated))
+			count(inter.IntersectWith(cfg.Updated))
 			if support < minSup {
 				return nil
 			}
@@ -523,7 +595,9 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 }
 
 // frequentEdges scans s for frequent 1-edge patterns with exact supports
-// (Fig. 11 line 1).
+// (Fig. 11 line 1). The merge itself reads these off the feature index
+// (index.FeatureIndex.FrequentEdges); the scan survives as the reference
+// implementation the differential tests compare the index against.
 func frequentEdges(s graph.Database, minSup int) pattern.Set {
 	type key struct{ li, le, lj int }
 	tids := make(map[key]*pattern.TIDSet)

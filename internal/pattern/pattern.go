@@ -152,6 +152,14 @@ func (t *TIDSet) Add(tid int) {
 	t.words[w] |= 1 << (tid % 64)
 }
 
+// Remove deletes tid; removing an absent tid is a no-op.
+func (t *TIDSet) Remove(tid int) {
+	w := tid / 64
+	if w < len(t.words) {
+		t.words[w] &^= 1 << (tid % 64)
+	}
+}
+
 // Contains reports membership.
 func (t *TIDSet) Contains(tid int) bool {
 	w := tid / 64
@@ -178,6 +186,24 @@ func (t *TIDSet) Intersect(o *TIDSet) *TIDSet {
 		out.words[i] = t.words[i] & o.words[i]
 	}
 	return out
+}
+
+// IntersectWith narrows t to the intersection with o in place — the
+// allocation-free form of Intersect for callers that own t (candidate
+// verification chains one IntersectWith per subpattern instead of a
+// Clone+Intersect allocation pair). It returns t.
+func (t *TIDSet) IntersectWith(o *TIDSet) *TIDSet {
+	n := len(t.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		t.words[i] &= o.words[i]
+	}
+	for i := n; i < len(t.words); i++ {
+		t.words[i] = 0
+	}
+	return t
 }
 
 // IntersectCount returns |t ∩ o| without allocating.

@@ -20,6 +20,7 @@ import (
 
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
+	"partminer/internal/index"
 	"partminer/internal/isomorph"
 	"partminer/internal/pattern"
 )
@@ -51,10 +52,12 @@ func (o IndexOptions) normalize(dbLen int) IndexOptions {
 type Index struct {
 	db       graph.Database
 	features []*pattern.Pattern
-	// edgeTIDs maps every (li,le,lj) triple (li<=lj) to its exact TID
-	// set, frequent or not.
-	edgeTIDs map[[3]int]*pattern.TIDSet
-	opts     IndexOptions
+	// fx holds the database feature index: exact label and edge-triple
+	// TID sets (subsuming the old per-edge table), per-transaction
+	// invariant signatures, and label posting lists. It drives both the
+	// candidate filter and the verification matcher.
+	fx   *index.FeatureIndex
+	opts IndexOptions
 }
 
 // Stats describes one query evaluation.
@@ -65,6 +68,9 @@ type Stats struct {
 	// Candidates is the filtered candidate count; Verified the number of
 	// candidates that actually contain the query.
 	Candidates, Verified int
+	// SigPruned counts candidates dismissed by signature domination
+	// before any isomorphism test.
+	SigPruned int
 }
 
 // BuildIndex mines db for frequent subgraphs and builds the index.
@@ -78,35 +84,21 @@ func BuildIndex(db graph.Database, opts IndexOptions) *Index {
 // cancellation it returns nil and ctx.Err().
 func BuildIndexContext(ctx context.Context, db graph.Database, opts IndexOptions) (*Index, error) {
 	opts = opts.normalize(len(db))
-	set, err := gaston.MineContext(ctx, db, gaston.Options{MinSupport: opts.MinSupport, MaxEdges: opts.MaxFeatureEdges})
+	// The feature index is built first so the mining phase itself can
+	// seed its 1-edge projections from it.
+	fx, err := index.BuildContext(ctx, db, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{db: db, opts: opts, edgeTIDs: make(map[[3]int]*pattern.TIDSet)}
+	set, err := gaston.MineContext(ctx, db, gaston.Options{MinSupport: opts.MinSupport, MaxEdges: opts.MaxFeatureEdges, Index: fx})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{db: db, opts: opts, fx: fx}
 	for _, by := range set.BySize() {
 		for _, p := range by {
 			if p.Size() >= 2 {
 				ix.features = append(ix.features, p)
-			}
-		}
-	}
-	for tid, g := range db {
-		for u := 0; u < g.VertexCount(); u++ {
-			for _, e := range g.Adj[u] {
-				if u > e.To {
-					continue
-				}
-				li, lj := g.Labels[u], g.Labels[e.To]
-				if li > lj {
-					li, lj = lj, li
-				}
-				key := [3]int{li, e.Label, lj}
-				ts, ok := ix.edgeTIDs[key]
-				if !ok {
-					ts = pattern.NewTIDSet(len(db))
-					ix.edgeTIDs[key] = ts
-				}
-				ts.Add(tid)
 			}
 		}
 	}
@@ -121,27 +113,12 @@ func (ix *Index) FeatureCount() int { return len(ix.features) }
 // returned statistics describe the filtering work.
 func (ix *Index) Candidates(q *graph.Graph) (*pattern.TIDSet, Stats) {
 	var st Stats
-	cand := pattern.NewTIDSet(len(ix.db))
-	for i := range ix.db {
-		cand.Add(i)
-	}
-	// Edge filter: exact and always applicable.
-	for u := 0; u < q.VertexCount(); u++ {
-		for _, e := range q.Adj[u] {
-			if u > e.To {
-				continue
-			}
-			li, lj := q.Labels[u], q.Labels[e.To]
-			if li > lj {
-				li, lj = lj, li
-			}
-			ts, ok := ix.edgeTIDs[[3]int{li, e.Label, lj}]
-			if !ok {
-				// An edge of q occurs nowhere in the database.
-				return pattern.NewTIDSet(len(ix.db)), st
-			}
-			cand = cand.Intersect(ts)
-		}
+	// Label and edge filter: exact and always applicable. NarrowByFeatures
+	// intersects the exact TID set of every vertex label and edge triple
+	// of q; nil means some feature of q occurs nowhere in the database.
+	cand := ix.fx.NarrowByFeatures(q, nil)
+	if cand == nil {
+		return pattern.NewTIDSet(len(ix.db)), st
 	}
 	// Structural features: only those small enough to fit in q.
 	for _, f := range ix.features {
@@ -151,7 +128,7 @@ func (ix *Index) Candidates(q *graph.Graph) (*pattern.TIDSet, Stats) {
 		st.FeaturesTried++
 		if isomorph.Contains(q, f.Code.Graph()) {
 			st.FeaturesMatched++
-			cand = cand.Intersect(f.TIDs)
+			cand.IntersectWith(f.TIDs)
 		}
 	}
 	st.Candidates = cand.Count()
@@ -163,9 +140,16 @@ func (ix *Index) Candidates(q *graph.Graph) (*pattern.TIDSet, Stats) {
 func (ix *Index) Find(q *graph.Graph) ([]int, Stats) {
 	cand, st := ix.Candidates(q)
 	var out []int
-	m := isomorph.NewMatcher(q) // one match order for every candidate
+	m := ix.fx.NewMatcher(q) // one rarest-root match order for every candidate
+	qsig := index.SigOf(q)
 	for _, tid := range cand.Slice() {
-		if m.Contains(ix.db[tid]) {
+		// Signature domination dismisses candidates whose label
+		// histogram, triple counts, or per-label degrees cannot host q.
+		if !ix.fx.SigDominates(tid, qsig) {
+			st.SigPruned++
+			continue
+		}
+		if m.ContainsPostedTick(ix.db[tid], ix.fx.Lister(tid), nil) {
 			out = append(out, tid)
 		}
 	}
