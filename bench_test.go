@@ -124,6 +124,8 @@ func BenchmarkPartMinerK2(b *testing.B) { bench.BenchPartMinerK2(b) }
 
 func BenchmarkIndexedSupport(b *testing.B) { bench.BenchIndexedSupport(b) }
 
+func BenchmarkServeUpdateBatch(b *testing.B) { bench.BenchServeUpdateBatch(b) }
+
 func BenchmarkIncPartMiner(b *testing.B) {
 	db := benchDB(200)
 	sup := core.AbsoluteSupport(db, 0.04)

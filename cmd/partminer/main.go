@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool bound with -parallel (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort mining after this duration (0 = none); SIGINT/SIGTERM also cancel")
 	phases := flag.Bool("phases", false, "print the per-phase breakdown (stage timings and work counters) to stderr")
+	statsJSON := flag.String("statsjson", "", "write the per-phase breakdown as JSON to this file ('-' for stdout)")
 	criteria := flag.String("criteria", "partition3", "partitioning criteria: partition1, partition2, partition3, metis")
 	miner := flag.String("miner", "partminer", "algorithm: partminer, gspan, gaston, freetree, fsg, adimine")
 	updatedPath := flag.String("updated", "", "updated database for incremental mining")
@@ -63,9 +65,21 @@ func main() {
 		defer cancel()
 	}
 	var collector *exec.Collector
-	if *phases {
+	if *phases || *statsJSON != "" {
 		collector = &exec.Collector{}
+	}
+	if *phases {
 		defer func() { fmt.Fprint(os.Stderr, collector.String()) }()
+	}
+	if *statsJSON != "" {
+		// Both renderings come from the same exec.Metrics snapshot the
+		// server's /v1/stats embeds, so every consumer reports the same
+		// numbers under the same names.
+		defer func() {
+			if err := writeStatsJSON(*statsJSON, collector.Metrics()); err != nil {
+				fmt.Fprintln(os.Stderr, "partminer: statsjson:", err)
+			}
+		}()
 	}
 
 	db := readDB(flag.Arg(0))
@@ -286,6 +300,21 @@ func report(set pattern.Set, elapsed time.Duration, showAll bool) {
 			fmt.Printf("%s support=%d\n", p.Code, p.Support)
 		}
 	}
+}
+
+// writeStatsJSON renders the run's exec.Metrics to path; "-" means
+// stdout.
+func writeStatsJSON(path string, m exec.Metrics) error {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 func fatal(err error) {

@@ -1,0 +1,192 @@
+// Command partserved runs PartServe: a resident mining service that
+// keeps a database, its frequent-pattern set, and the feature index live
+// behind an atomic snapshot, answers pattern/containment queries over
+// HTTP while folding graph updates in through IncPartMiner.
+//
+//	partserved -minsup 0.05 -addr 127.0.0.1:7365 db.txt
+//	curl localhost:7365/v1/patterns?k=5
+//	curl -X POST --data-binary @query.txt localhost:7365/v1/contains
+//	curl -X POST -d '{"ops":[{"op":"relabel_vertex","tid":3,"u":0,"label":9}]}' \
+//	     localhost:7365/v1/update
+//
+// With -snapshot the service persists every published snapshot (write to
+// a temp file, then rename); -restore warm-starts from that file instead
+// of mining from scratch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"partminer/internal/core"
+	"partminer/internal/graph"
+	"partminer/internal/partition"
+	"partminer/internal/query"
+	"partminer/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7365", "listen address (use :0 for an ephemeral port)")
+	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	minsup := flag.Float64("minsup", 0.04, "minimum support as a fraction of the database (0.04 = 4%), or an absolute count when >= 1")
+	k := flag.Int("k", 2, "number of units")
+	maxEdges := flag.Int("maxedges", 0, "bound on pattern size (0 = unbounded)")
+	parallel := flag.Bool("parallel", false, "mine units in parallel")
+	workers := flag.Int("workers", 0, "worker-pool bound with -parallel (0 = GOMAXPROCS)")
+	criteria := flag.String("criteria", "partition3", "partitioning criteria: partition1, partition2, partition3, metis")
+	batchWindow := flag.Duration("batch-window", 20*time.Millisecond, "how long the update loop lingers to coalesce concurrent updates")
+	featEdges := flag.Int("featedges", 0, "max feature size for the containment index (0 = default)")
+	snapshotPath := flag.String("snapshot", "", "persist every published snapshot to this file (atomic rename)")
+	restore := flag.Bool("restore", false, "warm-start from the -snapshot file instead of mining the database argument")
+	flag.Parse()
+
+	var bis partition.Bisector
+	switch *criteria {
+	case "partition1":
+		bis = partition.Partition1
+	case "partition2":
+		bis = partition.Partition2
+	case "partition3":
+		bis = partition.Partition3
+	case "metis":
+		bis = partition.Metis{}
+	default:
+		fatal(fmt.Errorf("unknown criteria %q", *criteria))
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	cfg := server.Config{
+		Mine:        core.Options{K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Workers: *workers, Bisector: bis},
+		Search:      query.IndexOptions{MaxFeatureEdges: *featEdges},
+		BatchWindow: *batchWindow,
+	}
+	if *snapshotPath != "" {
+		path := *snapshotPath
+		cfg.OnSwap = func(snap *server.Snapshot) {
+			if err := saveSnapshot(path, snap); err != nil {
+				fmt.Fprintln(os.Stderr, "partserved: snapshot save:", err)
+			}
+		}
+	}
+
+	var srv *server.Server
+	start := time.Now()
+	if *restore {
+		if *snapshotPath == "" {
+			fatal(fmt.Errorf("-restore requires -snapshot"))
+		}
+		f, err := os.Open(*snapshotPath)
+		if err != nil {
+			fatal(err)
+		}
+		db, res, err := core.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "partserved: restored %d graphs, %d patterns from %s\n",
+			len(db), len(res.Patterns), *snapshotPath)
+		srv, err = server.Restore(ctx, db, res, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: partserved [flags] <database file> (or -restore -snapshot <file>)"))
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		db, err := graph.ReadDatabase(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Mine.MinSupport = absSupport(db, *minsup)
+		fmt.Fprintf(os.Stderr, "partserved: %d graphs, minimum support %d\n", len(db), cfg.Mine.MinSupport)
+		srv, err = server.Start(ctx, db, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(os.Stderr, "partserved: epoch %d ready with %d patterns in %v\n",
+		snap.Epoch, snap.PatternCount(), time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "partserved: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "partserved: shutting down")
+	case err := <-errc:
+		fatal(err)
+	}
+
+	// Graceful drain: stop accepting, finish in-flight requests, then
+	// let the update loop fold whatever is already queued.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "partserved: shutdown:", err)
+	}
+	srv.Close()
+	fmt.Fprintf(os.Stderr, "partserved: stopped at epoch %d\n", srv.Snapshot().Epoch)
+}
+
+// saveSnapshot persists atomically: a crash mid-write must not corrupt
+// the restore file.
+func saveSnapshot(path string, snap *server.Snapshot) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".partserved-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := core.SaveSnapshot(tmp, snap.Res); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func absSupport(db graph.Database, minsup float64) int {
+	if minsup >= 1 {
+		return int(minsup)
+	}
+	sup := int(minsup * float64(len(db)))
+	if sup < 1 {
+		sup = 1
+	}
+	return sup
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partserved:", err)
+	os.Exit(1)
+}

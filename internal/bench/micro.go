@@ -7,6 +7,7 @@ package bench
 // the interactive runs measure identical work.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"partminer/internal/gspan"
 	"partminer/internal/index"
 	"partminer/internal/isomorph"
+	"partminer/internal/server"
 )
 
 // MicroDB returns the shared 200-graph dataset the substrate
@@ -139,6 +141,31 @@ func BenchPartMinerK2(b *testing.B) {
 	}
 }
 
+// BenchServeUpdateBatch measures PartServe's update-batch fold end to
+// end: one Apply call per iteration — staging the op onto the
+// copy-on-write database, incremental re-mining against a cloned feature
+// index, rebuilding the containment index, and the atomic snapshot swap.
+// This is the latency a /v1/update client observes (minus HTTP).
+func BenchServeUpdateBatch(b *testing.B) {
+	db, sup := MicroDB().Clone(), MicroSupport()
+	s, err := server.Start(context.Background(), db, server.Config{
+		Mine:        core.Options{MinSupport: sup, K: 2},
+		BatchWindow: -1, // fold each Apply immediately; measure one fold per op
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops := []server.Op{{Kind: server.OpRelabelVertex, TID: i % len(db), U: 0, Label: i % 4}}
+		if _, err := s.Apply(context.Background(), ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Micro is one named micro-benchmark family tracked in the BENCH_*.json
 // trajectory.
 type Micro struct {
@@ -155,6 +182,7 @@ func Micros() []Micro {
 		{"BenchmarkMinDFSCode", BenchMinDFSCode},
 		{"BenchmarkPartMinerK2", BenchPartMinerK2},
 		{"BenchmarkIndexedSupport", BenchIndexedSupport},
+		{"BenchmarkServeUpdateBatch", BenchServeUpdateBatch},
 	}
 }
 

@@ -196,6 +196,70 @@ func LoadResult(r io.Reader, db graph.Database) (*Result, error) {
 	return res, nil
 }
 
+// snapshotHeader begins a combined database+result file; the database
+// section ends where the embedded result's own header line begins.
+const snapshotHeader = "partminer-snapshot v1"
+
+// SaveSnapshot serializes the mined database together with its result in
+// one self-contained file: unlike SaveResult, no separate copy of the
+// database needs to survive for a later process to resume. This is the
+// server's warm-start format (`partserved -restore`): the database text
+// section is followed by the SaveResult section, and LoadSnapshot wires
+// them back together. The same custom-Bisector/UnitMiner restrictions as
+// SaveResult apply.
+func SaveSnapshot(w io.Writer, res *Result) error {
+	if res == nil || res.Tree == nil {
+		return fmt.Errorf("core: snapshot requires a result with its partition tree")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, snapshotHeader)
+	if err := graph.WriteDatabase(bw, res.Tree.Root.DB); err != nil {
+		return err
+	}
+	if err := SaveResult(bw, res); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a file written by SaveSnapshot, returning the
+// database and the result reconstructed against it (partition tree
+// re-derived, feature index left nil for the next run to rebuild).
+func LoadSnapshot(r io.Reader) (graph.Database, *Result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	text := string(data)
+	nl := strings.IndexByte(text, '\n')
+	if nl < 0 || strings.TrimRight(text[:nl], "\r") != snapshotHeader {
+		return nil, nil, fmt.Errorf("core: not a snapshot file (missing %q header)", snapshotHeader)
+	}
+	body := text[nl+1:]
+	// The database section runs until the embedded result header. The
+	// result header line cannot occur inside the database text format
+	// (every db line starts with 't', 'v', 'e', '%', or is blank).
+	sep := "partminer-result v1"
+	cut := -1
+	if strings.HasPrefix(body, sep) {
+		cut = 0
+	} else if i := strings.Index(body, "\n"+sep); i >= 0 {
+		cut = i + 1
+	}
+	if cut < 0 {
+		return nil, nil, fmt.Errorf("core: snapshot has no embedded result section")
+	}
+	db, err := graph.ReadDatabase(strings.NewReader(body[:cut]))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: snapshot database: %w", err)
+	}
+	res, err := LoadResult(strings.NewReader(body[cut:]), db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, res, nil
+}
+
 // pathToken encodes a tree path for the file format; the root's empty
 // path becomes ".".
 func pathToken(path string) string {

@@ -147,3 +147,72 @@ func TestLoadErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotRoundTrip: the combined database+result snapshot must
+// reconstruct both sides bit-for-bit — the warm-start format partserved
+// restores from without re-mining.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	db := graph.RandomDatabase(rng, 10, 6, 8, 3, 2)
+	res, err := PartMiner(db, Options{MinSupport: 2, K: 2, MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := SaveSnapshot(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	backDB, back, err := LoadSnapshot(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backDB) != len(db) {
+		t.Fatalf("database came back with %d graphs, want %d", len(backDB), len(db))
+	}
+	for i := range db {
+		if !backDB[i].Equal(db[i]) {
+			t.Fatalf("graph %d changed across the round trip", i)
+		}
+	}
+	if !back.Patterns.Equal(res.Patterns) {
+		t.Fatalf("patterns diff: %v", back.Patterns.Diff(res.Patterns))
+	}
+	for key, p := range res.Patterns {
+		if !back.Patterns[key].TIDs.Equal(p.TIDs) {
+			t.Fatalf("pattern %s: TIDs diverge across the round trip", p)
+		}
+	}
+	for path, set := range res.NodeSets {
+		if !back.NodeSets[path].Equal(set) {
+			t.Errorf("node %q differs", path)
+		}
+	}
+	// A restored snapshot must keep mining incrementally like the live one.
+	newDB := backDB.Clone()
+	var tids []int
+	for tid := 0; tid < len(newDB); tid += 3 {
+		if newDB[tid].VertexCount() >= 2 && newDB[tid].EdgeCount() > 0 {
+			newDB[tid].Labels[0]++
+			tids = append(tids, tid)
+		}
+	}
+	incFromLoaded, err := IncPartMiner(newDB, tids, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := PartMiner(newDB, res.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incFromLoaded.Patterns.Equal(fresh.Patterns) {
+		t.Fatalf("restored incremental diff: %v", incFromLoaded.Patterns.Diff(fresh.Patterns))
+	}
+
+	// Corrupt inputs are rejected, not misparsed.
+	if _, _, err := LoadSnapshot(strings.NewReader("garbage\n")); err == nil {
+		t.Fatal("garbage accepted as snapshot")
+	}
+	if _, _, err := LoadSnapshot(strings.NewReader("partminer-snapshot v1\nt # 0\nv 0 1\n")); err == nil {
+		t.Fatal("snapshot without result section accepted")
+	}
+}

@@ -247,3 +247,35 @@ func TestMultiObserver(t *testing.T) {
 		t.Fatal("Multi of one should return it unwrapped")
 	}
 }
+
+func TestCollectorMetrics(t *testing.T) {
+	c := &Collector{}
+	c.StageStart("partition")
+	c.StageEnd("partition", 3*time.Millisecond)
+	c.StageStart("merge")
+	c.StageEnd("merge", 5*time.Millisecond)
+	c.StageEnd("merge", 2*time.Millisecond)
+	c.Counter("merge.candidates", 7)
+	c.Counter("merge.candidates", 4)
+	c.Counter("units.degraded", 1)
+
+	m := c.Metrics()
+	if len(m.Stages) != 2 || m.Stages[0].Stage != "partition" || m.Stages[1].Calls != 2 {
+		t.Fatalf("unexpected stages: %+v", m.Stages)
+	}
+	if m.Stages[1].Total != 7*time.Millisecond {
+		t.Fatalf("merge total = %v, want 7ms", m.Stages[1].Total)
+	}
+	if m.Counters["merge.candidates"] != 11 || m.Counters["units.degraded"] != 1 {
+		t.Fatalf("unexpected counters: %v", m.Counters)
+	}
+	// Metrics is a copy: mutating it must not reach the collector.
+	m.Counters["merge.candidates"] = 0
+	if c.Counters()["merge.candidates"] != 11 {
+		t.Fatal("Metrics aliases the collector's counter map")
+	}
+	// The rendered forms agree (Collector.String delegates to Metrics).
+	if c.String() != c.Metrics().String() {
+		t.Fatal("Collector.String diverges from Metrics.String")
+	}
+}

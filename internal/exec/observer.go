@@ -85,11 +85,52 @@ func (m multiObserver) Counter(name string, delta int64) {
 // StageStat aggregates every completed run of one stage name.
 type StageStat struct {
 	// Stage is the reported stage name.
-	Stage string
+	Stage string `json:"stage"`
 	// Calls counts completed StageStart/StageEnd pairs.
-	Calls int
-	// Total is the summed wall-clock duration across calls.
-	Total time.Duration
+	Calls int `json:"calls"`
+	// Total is the summed wall-clock duration across calls
+	// (JSON-encoded as nanoseconds).
+	Total time.Duration `json:"total_ns"`
+}
+
+// Metrics is the export form of a Collector: the per-phase stage
+// breakdown plus every named counter, in one JSON-serializable
+// expvar-style struct. It is the single currency for surfacing execution
+// metrics outside a run — `partminer -phases`/`-statsjson` render it and
+// partserved's /v1/stats embeds it — so every consumer reports the same
+// numbers under the same names.
+type Metrics struct {
+	Stages   []StageStat      `json:"stages,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// String renders the metrics as the fixed-width per-phase table the
+// paper's §5 reports, followed by the counters sorted by name.
+func (m Metrics) String() string {
+	var b strings.Builder
+	if len(m.Stages) > 0 {
+		width := len("stage")
+		for _, st := range m.Stages {
+			if len(st.Stage) > width {
+				width = len(st.Stage)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %6s  %12s\n", width, "stage", "calls", "total")
+		for _, st := range m.Stages {
+			fmt.Fprintf(&b, "%-*s  %6d  %12v\n", width, st.Stage, st.Calls, st.Total.Round(time.Microsecond))
+		}
+	}
+	if len(m.Counters) > 0 {
+		names := make([]string, 0, len(m.Counters))
+		for name := range m.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "counter %s = %d\n", name, m.Counters[name])
+		}
+	}
+	return b.String()
 }
 
 // Collector is a ready-made Observer that aggregates stages and
@@ -175,33 +216,15 @@ func (c *Collector) Counters() map[string]int64 {
 	return out
 }
 
+// Metrics snapshots the collector's aggregated state into the export
+// struct. The result is a copy — it never aliases the collector's
+// internal maps, so it is safe to hold across further reporting.
+func (c *Collector) Metrics() Metrics {
+	return Metrics{Stages: c.Stages(), Counters: c.Counters()}
+}
+
 // String renders the per-phase breakdown as a fixed-width table followed
-// by the counters, sorted by name.
+// by the counters, sorted by name (the rendering of Metrics).
 func (c *Collector) String() string {
-	stages := c.Stages()
-	counters := c.Counters()
-	var b strings.Builder
-	if len(stages) > 0 {
-		width := len("stage")
-		for _, st := range stages {
-			if len(st.Stage) > width {
-				width = len(st.Stage)
-			}
-		}
-		fmt.Fprintf(&b, "%-*s  %6s  %12s\n", width, "stage", "calls", "total")
-		for _, st := range stages {
-			fmt.Fprintf(&b, "%-*s  %6d  %12v\n", width, st.Stage, st.Calls, st.Total.Round(time.Microsecond))
-		}
-	}
-	if len(counters) > 0 {
-		names := make([]string, 0, len(counters))
-		for name := range counters {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Fprintf(&b, "counter %s = %d\n", name, counters[name])
-		}
-	}
-	return b.String()
+	return c.Metrics().String()
 }

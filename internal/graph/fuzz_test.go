@@ -34,5 +34,14 @@ func FuzzReadDatabase(f *testing.F) {
 				t.Fatalf("round trip changed graph %d", i)
 			}
 		}
+		// Serialization must be a fixed point: once normalized through
+		// one write/read cycle, a second write is byte-identical.
+		var sb2 strings.Builder
+		if err := WriteDatabase(&sb2, back); err != nil {
+			t.Fatalf("second serialize failed: %v", err)
+		}
+		if sb2.String() != sb.String() {
+			t.Fatalf("serialization not stable:\nfirst:  %q\nsecond: %q", sb.String(), sb2.String())
+		}
 	})
 }

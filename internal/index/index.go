@@ -552,6 +552,41 @@ func (ix *FeatureIndex) SupportIn(p *graph.Graph, tids []int) int {
 	return n
 }
 
+// Clone returns an independently updatable copy of the index: Update on
+// the clone never mutates the original, so a reader holding the original
+// (e.g. a published server snapshot) stays consistent while a writer
+// patches the clone — the RCU pattern internal/server builds on.
+//
+// The copy is as shallow as Update's mutation granularity allows:
+// TID bitsets and the bookkeeping maps are deep-copied (Update patches
+// them bit by bit), while signatures, posting lists, and occurrence
+// slices are shared — Update replaces those wholesale per transaction or
+// per triple, never in place.
+func (ix *FeatureIndex) Clone() *FeatureIndex {
+	c := &FeatureIndex{
+		db:         append(graph.Database(nil), ix.db...),
+		labelTIDs:  make(map[int]*pattern.TIDSet, len(ix.labelTIDs)),
+		tripleTIDs: make(map[Triple]*pattern.TIDSet, len(ix.tripleTIDs)),
+		occs:       make(map[Triple][]extend.EdgeOcc, len(ix.occs)),
+		sigs:       append([]*Signature(nil), ix.sigs...),
+		posts:      append([]txPostings(nil), ix.posts...),
+		labelFreq:  make(map[int]int, len(ix.labelFreq)),
+	}
+	for l, ts := range ix.labelTIDs {
+		c.labelTIDs[l] = ts.Clone()
+	}
+	for t, ts := range ix.tripleTIDs {
+		c.tripleTIDs[t] = ts.Clone()
+	}
+	for t, occ := range ix.occs {
+		c.occs[t] = occ
+	}
+	for l, n := range ix.labelFreq {
+		c.labelFreq[l] = n
+	}
+	return c
+}
+
 // Update re-indexes the transactions listed in updatedTIDs against newDB
 // (same length and transaction order as the indexed database; only the
 // listed graphs may differ). Everything about unchanged transactions is

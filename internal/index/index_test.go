@@ -281,3 +281,60 @@ func TestSupportEmptyAndMissingFeatures(t *testing.T) {
 		t.Errorf("alien-label pattern candidates = %d, want 0", ts.Count())
 	}
 }
+
+// TestCloneIsolatesUpdate: patching a clone must leave the original index
+// bit-for-bit untouched (the RCU contract internal/server relies on), and
+// the patched clone must behave like a fresh build of the new database.
+func TestCloneIsolatesUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	db := graph.RandomDatabase(rng, 20, 9, 13, 3, 2)
+	ix := Build(db)
+	clone := ix.Clone()
+
+	newDB := make(graph.Database, len(db))
+	copy(newDB, db)
+	var updated []int
+	for tid := 0; tid < len(db); tid += 4 {
+		newDB[tid] = graph.RandomConnected(rng, tid, 8+rng.Intn(5), 9+rng.Intn(8), 3, 2)
+		updated = append(updated, tid)
+	}
+	clone.Update(newDB, updated)
+
+	freshOld := Build(db)
+	freshNew := Build(newDB)
+	for i := 0; i < 40; i++ {
+		pat := graph.RandomConnected(rng, 4000+i, 2+rng.Intn(4), 1+rng.Intn(4), 3, 2)
+		if got, want := ix.Support(pat), freshOld.Support(pat); got != want {
+			t.Fatalf("pattern %d: original support %d after clone update, want %d", i, got, want)
+		}
+		if !clone.SupportTIDs(pat).Equal(freshNew.SupportTIDs(pat)) {
+			t.Fatalf("pattern %d: clone supporting TIDs diverge from fresh build", i)
+		}
+	}
+	// The original's inverted structures must match a fresh pre-update
+	// build exactly — not just behaviorally.
+	for tr, ts := range freshOld.tripleTIDs {
+		if !ts.Equal(ix.tripleTIDs[tr]) {
+			t.Fatalf("triple %v: original TIDs changed by clone update", tr)
+		}
+	}
+	if len(ix.tripleTIDs) != len(freshOld.tripleTIDs) {
+		t.Fatalf("triple map size changed: %d, want %d", len(ix.tripleTIDs), len(freshOld.tripleTIDs))
+	}
+	for label, n := range freshOld.labelFreq {
+		if ix.labelFreq[label] != n {
+			t.Fatalf("label %d: original freq changed to %d, want %d", label, ix.labelFreq[label], n)
+		}
+	}
+	for tr, want := range freshOld.occs {
+		got := ix.occs[tr]
+		if len(got) != len(want) {
+			t.Fatalf("triple %v: original occurrence list changed", tr)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("triple %v occ %d: original entry changed", tr, i)
+			}
+		}
+	}
+}

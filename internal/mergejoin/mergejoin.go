@@ -102,6 +102,23 @@ type Stats struct {
 	Frequent int64
 }
 
+// Counters exports the stats as observer-style named counters, under the
+// same "merge." names MergeContext reports to its Observer — the single
+// vocabulary exec.Metrics consumers (partminer -phases/-statsjson,
+// partserved /v1/stats) see these numbers through.
+func (s *Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		"merge.candidates":    s.Candidates,
+		"merge.unit_seeded":   s.UnitSeeded,
+		"merge.pruned":        s.Pruned,
+		"merge.triple_pruned": s.TriplePruned,
+		"merge.sig_pruned":    s.SigPruned,
+		"merge.iso_tests":     s.IsoTests,
+		"merge.carried_tids":  s.CarriedTIDs,
+		"merge.frequent":      s.Frequent,
+	}
+}
+
 func (s *Stats) add(o *Stats) {
 	s.Candidates += o.Candidates
 	s.UnitSeeded += o.UnitSeeded
@@ -342,14 +359,9 @@ func reportStats(o exec.Observer, st *Stats) {
 	if o == nil {
 		return
 	}
-	exec.Count(o, "merge.candidates", st.Candidates)
-	exec.Count(o, "merge.unit_seeded", st.UnitSeeded)
-	exec.Count(o, "merge.pruned", st.Pruned)
-	exec.Count(o, "merge.triple_pruned", st.TriplePruned)
-	exec.Count(o, "merge.sig_pruned", st.SigPruned)
-	exec.Count(o, "merge.iso_tests", st.IsoTests)
-	exec.Count(o, "merge.carried_tids", st.CarriedTIDs)
-	exec.Count(o, "merge.frequent", st.Frequent)
+	for name, v := range st.Counters() {
+		exec.Count(o, name, v)
+	}
 }
 
 // candidate is a (k+1)-edge pattern awaiting verification.

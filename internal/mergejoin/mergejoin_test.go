@@ -313,3 +313,23 @@ func TestMergeStatsAccumulate(t *testing.T) {
 		t.Error("incremental merge should carry supporters from the old set")
 	}
 }
+
+// TestStatsCountersMatchObserver: Stats.Counters must use exactly the
+// names and values reportStats mirrors into an Observer — they are the
+// same numbers surfaced through two doors.
+func TestStatsCountersMatchObserver(t *testing.T) {
+	st := &Stats{Candidates: 9, UnitSeeded: 2, Pruned: 5, TriplePruned: 3,
+		SigPruned: 4, IsoTests: 17, CarriedTIDs: 6, Frequent: 1}
+	c := &exec.Collector{}
+	reportStats(c, st)
+	got := c.Counters()
+	want := st.Counters()
+	if len(got) != len(want) {
+		t.Fatalf("observer saw %d counters, Counters() has %d", len(got), len(want))
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("counter %s: observer %d, Counters() %d", name, got[name], v)
+		}
+	}
+}

@@ -105,6 +105,30 @@ func BuildIndexContext(ctx context.Context, db graph.Database, opts IndexOptions
 	return ix, nil
 }
 
+// IndexFromPatterns builds the containment index from an already-mined
+// frequent-pattern set instead of mining afresh: set's multi-edge
+// patterns (with exact TIDs) become the structural features, and fx — the
+// database feature index the patterns were mined against — supplies the
+// exact label/edge filter and the verification matcher. fx must index db.
+//
+// This is the server path: PartMiner's Result carries both the pattern
+// set and the feature index, so a query index over a fresh snapshot costs
+// a sort of the pattern set, not a mining run. Patterns without TIDs and
+// patterns larger than MaxFeatureEdges are skipped (they cannot filter).
+func IndexFromPatterns(db graph.Database, fx *index.FeatureIndex, set pattern.Set, opts IndexOptions) *Index {
+	opts = opts.normalize(len(db))
+	ix := &Index{db: db, opts: opts, fx: fx}
+	for _, by := range set.BySize() {
+		for _, p := range by {
+			if p.Size() < 2 || p.Size() > opts.MaxFeatureEdges || p.TIDs == nil {
+				continue
+			}
+			ix.features = append(ix.features, p)
+		}
+	}
+	return ix
+}
+
 // FeatureCount returns the number of multi-edge index features.
 func (ix *Index) FeatureCount() int { return len(ix.features) }
 

@@ -1,12 +1,15 @@
 package query
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"partminer/internal/datagen"
+	"partminer/internal/gaston"
 	"partminer/internal/graph"
+	"partminer/internal/index"
 )
 
 func testDB(seed int64, d int) graph.Database {
@@ -134,5 +137,40 @@ func TestStatsString(t *testing.T) {
 	s := Stats{FeaturesTried: 10, FeaturesMatched: 3, Candidates: 7, Verified: 5}
 	if s.String() == "" {
 		t.Error("empty stats string")
+	}
+}
+
+// TestIndexFromPatternsMatchesScan: an index assembled from an
+// already-mined pattern set must answer exactly like Scan (and like a
+// freshly mined BuildIndex) — the server's per-snapshot path.
+func TestIndexFromPatternsMatchesScan(t *testing.T) {
+	db := testDB(3, 50)
+	opts := IndexOptions{}.normalize(len(db))
+	fx := index.Build(db)
+	set, err := gaston.MineContext(context.Background(), db,
+		gaston.Options{MinSupport: opts.MinSupport, MaxEdges: opts.MaxFeatureEdges, Index: fx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := IndexFromPatterns(db, fx, set, IndexOptions{})
+	if ix.FeatureCount() == 0 {
+		t.Fatal("no features adopted from the mined set")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		q := queryFrom(rng, db[rng.Intn(len(db))], 2+rng.Intn(4))
+		if !q.Connected() || q.EdgeCount() == 0 {
+			continue
+		}
+		got, _ := ix.Find(q)
+		want := Scan(db, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %v want %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: got %v want %v", i, got, want)
+			}
+		}
 	}
 }

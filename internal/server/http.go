@@ -1,0 +1,210 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"partminer/internal/graph"
+	"partminer/internal/pattern"
+)
+
+// patternJSON is the wire form of one frequent pattern.
+type patternJSON struct {
+	// Key is the canonical DFS-code key — the stable identifier accepted
+	// back by /v1/patterns?key=.
+	Key string `json:"key"`
+	// Code is the human-readable DFS code.
+	Code string `json:"code"`
+	// Size is the edge count; Support the transaction support.
+	Size    int   `json:"size"`
+	Support int   `json:"support"`
+	TIDs    []int `json:"tids,omitempty"`
+}
+
+func patternToJSON(p *pattern.Pattern, withTIDs bool) patternJSON {
+	pj := patternJSON{
+		Key:     p.Code.Key(),
+		Code:    p.Code.String(),
+		Size:    p.Size(),
+		Support: p.Support,
+	}
+	if withTIDs && p.TIDs != nil {
+		pj.TIDs = p.TIDs.Slice()
+	}
+	return pj
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz              liveness + current epoch
+//	GET  /v1/stats             Stats (epoch, batch latencies, exec phases,
+//	                           merge-join pruning counters)
+//	GET  /v1/patterns          top-k frequent patterns; ?k=, ?minsize=,
+//	                           ?tids=1; or one pattern by ?key=
+//	POST /v1/contains          graph text (or {"graph": "..."}) -> ids of
+//	                           database graphs containing it
+//	POST /v1/update            {"ops": [...]} -> applied atomically,
+//	                           responds after the snapshot swap
+//
+// Every read handler answers from one snapshot load, so each response is
+// consistent with exactly one epoch even while updates fold in.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": s.Snapshot().Epoch})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
+	mux.HandleFunc("POST /v1/contains", s.handleContains)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	return mux
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	q := r.URL.Query()
+	withTIDs := boolParam(q.Get("tids"))
+
+	if key := q.Get("key"); key != "" {
+		p := snap.Pattern(key)
+		if p == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("pattern %q not frequent at epoch %d", key, snap.Epoch))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":   snap.Epoch,
+			"pattern": patternToJSON(p, withTIDs),
+		})
+		return
+	}
+
+	k, err := intParam(q.Get("k"), 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad k: %w", err))
+		return
+	}
+	minSize, err := intParam(q.Get("minsize"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad minsize: %w", err))
+		return
+	}
+	top := snap.TopK(k, minSize)
+	out := make([]patternJSON, len(top))
+	for i, p := range top {
+		out[i] = patternToJSON(p, withTIDs)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":    snap.Epoch,
+		"total":    snap.PatternCount(),
+		"patterns": out,
+	})
+}
+
+func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
+	text, err := graphBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	gs, err := graph.ReadDatabase(strings.NewReader(text))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query graph: %w", err))
+		return
+	}
+	if len(gs) != 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("expected exactly 1 query graph, got %d", len(gs)))
+		return
+	}
+	snap := s.Snapshot()
+	tids, st := snap.Contains(gs[0])
+	if tids == nil {
+		tids = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":   snap.Epoch,
+		"support": len(tids),
+		"tids":    tids,
+		"stats": map[string]int{
+			"features_tried":   st.FeaturesTried,
+			"features_matched": st.FeaturesMatched,
+			"candidates":       st.Candidates,
+			"sig_pruned":       st.SigPruned,
+			"verified":         st.Verified,
+		},
+	})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ops []Op `json:"ops"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad update request: %w", err))
+		return
+	}
+	res, err := s.Apply(r.Context(), req.Ops)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case err == ErrClosed:
+		httpError(w, http.StatusServiceUnavailable, err)
+	case r.Context().Err() != nil:
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusBadRequest, err)
+	}
+}
+
+// graphBody extracts the query graph text from either a raw text body or
+// a {"graph": "..."} JSON wrapper.
+func graphBody(r *http.Request) (string, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		var req struct {
+			Graph string `json:"graph"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("bad JSON body: %w", err)
+		}
+		return req.Graph, nil
+	}
+	return string(body), nil
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func boolParam(s string) bool {
+	return s == "1" || s == "true" || s == "yes"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,644 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partminer/internal/core"
+	"partminer/internal/exec"
+	"partminer/internal/graph"
+	"partminer/internal/index"
+	"partminer/internal/query"
+)
+
+// ErrClosed is returned by Apply once the server has shut down.
+var ErrClosed = errors.New("server: closed")
+
+// OpKind names one mutation in an update request. The vertex-level kinds
+// mirror the paper's §5 update model (relabels and additions) plus the
+// deletion extension; the graph-level kinds manage whole transactions.
+type OpKind string
+
+const (
+	// OpAddVertex appends a vertex with Label to graph TID.
+	OpAddVertex OpKind = "add_vertex"
+	// OpAddEdge inserts edge (U, V) with Label into graph TID.
+	OpAddEdge OpKind = "add_edge"
+	// OpRemoveEdge deletes edge (U, V) from graph TID.
+	OpRemoveEdge OpKind = "remove_edge"
+	// OpRelabelVertex sets vertex U's label to Label in graph TID.
+	OpRelabelVertex OpKind = "relabel_vertex"
+	// OpRelabelEdge sets edge (U, V)'s label to Label in graph TID.
+	OpRelabelEdge OpKind = "relabel_edge"
+	// OpClearGraph replaces graph TID with an empty graph. Transaction
+	// ids are positional, so "deleting" a graph must keep its slot; an
+	// empty graph supports nothing and drops out of every pattern.
+	OpClearGraph OpKind = "clear_graph"
+	// OpReplaceGraph replaces graph TID with the single graph parsed
+	// from Graph (database text form); the slot keeps its id.
+	OpReplaceGraph OpKind = "replace_graph"
+	// OpAddGraph appends the graph parsed from Graph as a new
+	// transaction. Growing the database changes the partition shape, so
+	// batches containing additions fall back to a full re-mine.
+	OpAddGraph OpKind = "add_graph"
+)
+
+// Op is one mutation. Unused fields for a kind are ignored.
+type Op struct {
+	Kind  OpKind `json:"op"`
+	TID   int    `json:"tid,omitempty"`
+	U     int    `json:"u,omitempty"`
+	V     int    `json:"v,omitempty"`
+	Label int    `json:"label,omitempty"`
+	Graph string `json:"graph,omitempty"`
+}
+
+// ApplyResult reports the fold that incorporated one Apply call.
+type ApplyResult struct {
+	// Epoch of the snapshot the ops landed in.
+	Epoch uint64 `json:"epoch"`
+	// Ops is the number of ops from this call that were applied.
+	Ops int `json:"ops"`
+	// Batched is the total op count of the whole folded batch (ops from
+	// concurrent Apply calls coalesce into one mining round).
+	Batched int `json:"batched"`
+	// FullRemine is true when the batch was mined from scratch (graph
+	// additions change the partition shape) rather than incrementally.
+	FullRemine bool `json:"full_remine"`
+	// ReminedUnits lists the partition units re-mined incrementally;
+	// empty on a full re-mine.
+	ReminedUnits []int `json:"remined_units,omitempty"`
+	// Latency is the fold duration: staging, mining, index patch, and
+	// snapshot construction (JSON: nanoseconds).
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// Config configures Start.
+type Config struct {
+	// Mine holds the mining options (support threshold, K, criteria,
+	// parallelism). Config's Observer field composes with Mine.Observer.
+	Mine core.Options
+	// Search configures the containment index built per snapshot.
+	Search query.IndexOptions
+	// BatchWindow is how long the update loop lingers after the first
+	// queued op to coalesce more before mining; default 20ms. Negative
+	// disables lingering (fold exactly what is queued).
+	BatchWindow time.Duration
+	// MaxBatch caps the Apply calls coalesced per fold; default 256.
+	MaxBatch int
+	// QueueDepth is the update queue capacity; default 64.
+	QueueDepth int
+	// OnSwap, when non-nil, is called from the update loop with each
+	// snapshot (including the initial one) just before it is published.
+	// It runs synchronously with folding: keep it cheap or accept added
+	// update latency. Used for autosave and consistency testing.
+	OnSwap func(*Snapshot)
+	// Observer receives execution events from every mining round, in
+	// addition to the server's own collector. Optional.
+	Observer exec.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 20 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Server is the PartServe service: one published Snapshot behind an
+// atomic pointer, one writer goroutine folding updates. All exported
+// methods are safe for concurrent use.
+type Server struct {
+	cfg       Config
+	opts      core.Options // cfg.Mine with the merged observer, normalized by first mine
+	collector *exec.Collector
+	start     time.Time
+
+	snap atomic.Pointer[Snapshot]
+	reqs chan *applyReq
+	stop chan struct{} // closed by Close: loop drains and exits
+	done chan struct{} // closed when the loop has exited
+
+	closeOnce sync.Once
+
+	mu sync.Mutex // guards the batch statistics below
+	bs batchStats
+}
+
+type batchStats struct {
+	batches     int64
+	opsApplied  int64
+	opsRejected int64
+	fullRemines int64
+	lastOps     int
+	last, total time.Duration
+	max         time.Duration
+	merge       map[string]int64 // cumulative merge-join counters
+}
+
+type applyReq struct {
+	ops  []Op
+	done chan applyResp
+}
+
+type applyResp struct {
+	res ApplyResult
+	err error
+}
+
+// Start mines db and launches the service. ctx bounds the initial mining
+// run only; the running server is stopped with Close.
+func Start(ctx context.Context, db graph.Database, cfg Config) (*Server, error) {
+	s := newServer(cfg)
+	res, err := core.MineContext(ctx, db, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.opts = res.Options // normalized (defaults resolved) for later folds
+	return s.launch(db, res), nil
+}
+
+// Restore launches the service from a previously mined result (the
+// `partserved -restore` warm start: no initial mining run). res must have
+// been produced against db; its feature index is rebuilt if absent (the
+// snapshot file does not store it). The result's own mining options are
+// used, with cfg's observers attached.
+func Restore(ctx context.Context, db graph.Database, res *core.Result, cfg Config) (*Server, error) {
+	if res == nil || res.Tree == nil {
+		return nil, fmt.Errorf("server: restore requires a result with its partition tree")
+	}
+	s := newServer(cfg)
+	// Work on a shallow copy: the caller's result must not adopt our
+	// observers or index.
+	own := *res
+	own.Options.Observer = exec.Multi(own.Options.Observer, s.cfg.Observer, s.collector)
+	if own.Index == nil {
+		fx, err := index.BuildContext(ctx, db, nil, own.Options.Observer)
+		if err != nil {
+			return nil, err
+		}
+		own.Index = fx
+	}
+	s.opts = own.Options
+	return s.launch(db, &own), nil
+}
+
+func newServer(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg.withDefaults(),
+		collector: &exec.Collector{},
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	s.bs.merge = make(map[string]int64)
+	s.reqs = make(chan *applyReq, s.cfg.QueueDepth)
+	s.opts = s.cfg.Mine
+	s.opts.Observer = exec.Multi(s.opts.Observer, s.cfg.Observer, s.collector)
+	return s
+}
+
+func (s *Server) launch(db graph.Database, res *core.Result) *Server {
+	snap := s.makeSnapshot(1, db, res)
+	if s.cfg.OnSwap != nil {
+		s.cfg.OnSwap(snap)
+	}
+	s.snap.Store(snap)
+	s.mu.Lock()
+	s.accumulateMergeLocked(res.MergeStats.Counters())
+	s.mu.Unlock()
+	go s.loop()
+	return s
+}
+
+func (s *Server) makeSnapshot(epoch uint64, db graph.Database, res *core.Result) *Snapshot {
+	return &Snapshot{
+		Epoch:   epoch,
+		DB:      db,
+		Res:     res,
+		Index:   res.Index,
+		Search:  query.IndexFromPatterns(db, res.Index, res.Patterns, s.cfg.Search),
+		Created: time.Now(),
+	}
+}
+
+// Snapshot returns the current published snapshot. The read path: load
+// once, answer everything from it.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Apply submits ops as one atomic unit and blocks until a snapshot
+// containing them is published (or ctx is done / the server closes). All
+// ops succeed together or the whole call is rejected without effect;
+// independent Apply calls queued concurrently may be folded — and thus
+// mined — together in one batch.
+func (s *Server) Apply(ctx context.Context, ops []Op) (ApplyResult, error) {
+	if len(ops) == 0 {
+		return ApplyResult{Epoch: s.Snapshot().Epoch}, nil
+	}
+	req := &applyReq{ops: ops, done: make(chan applyResp, 1)}
+	select {
+	case s.reqs <- req:
+	case <-s.stop:
+		return ApplyResult{}, ErrClosed
+	case <-ctx.Done():
+		return ApplyResult{}, ctx.Err()
+	}
+	select {
+	case resp := <-req.done:
+		return resp.res, resp.err
+	case <-ctx.Done():
+		return ApplyResult{}, ctx.Err()
+	case <-s.done:
+		// The loop exited while our request was queued; the shutdown
+		// drain answers everything it saw, so give that answer priority.
+		select {
+		case resp := <-req.done:
+			return resp.res, resp.err
+		default:
+			return ApplyResult{}, ErrClosed
+		}
+	}
+}
+
+// Close stops the update loop after draining already-queued requests and
+// waits for it to exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// loop is the single writer: it owns every mutation of the database and
+// the published snapshot pointer.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case req := <-s.reqs:
+			s.fold(s.gather(req))
+		case <-s.stop:
+			for {
+				select {
+				case req := <-s.reqs:
+					s.fold(s.gather(req))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather coalesces queued requests behind first into one batch, waiting
+// up to BatchWindow for stragglers (one mining round amortizes over the
+// whole batch).
+func (s *Server) gather(first *applyReq) []*applyReq {
+	batch := []*applyReq{first}
+	if s.cfg.BatchWindow < 0 {
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case req := <-s.reqs:
+				batch = append(batch, req)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case req := <-s.reqs:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// fold applies one batch to a copy-on-write database, re-mines, and
+// publishes the next snapshot.
+func (s *Server) fold(batch []*applyReq) {
+	t0 := time.Now()
+	cur := s.snap.Load()
+
+	// Copy-on-write staging: the slice is copied, graphs are cloned only
+	// when touched. Graphs the batch never touches stay shared with the
+	// published snapshot.
+	db := append(graph.Database(nil), cur.DB...)
+	updated := make(map[int]bool)
+	appended := false
+	var accepted []*applyReq
+	var batched int
+
+	for _, req := range batch {
+		if err := s.stage(&db, updated, &appended, req.ops); err != nil {
+			req.done <- applyResp{err: err}
+			s.mu.Lock()
+			s.bs.opsRejected += int64(len(req.ops))
+			s.mu.Unlock()
+			continue
+		}
+		accepted = append(accepted, req)
+		batched += len(req.ops)
+	}
+	if len(accepted) == 0 {
+		return
+	}
+
+	res, fullRemine, remined, err := s.mine(cur, db, updated, appended)
+	if err != nil {
+		for _, req := range accepted {
+			req.done <- applyResp{err: err}
+		}
+		s.mu.Lock()
+		s.bs.opsRejected += int64(batched)
+		s.mu.Unlock()
+		return
+	}
+
+	next := s.makeSnapshot(cur.Epoch+1, db, res)
+	latency := time.Since(t0)
+	if s.cfg.OnSwap != nil {
+		s.cfg.OnSwap(next)
+	}
+	s.snap.Store(next)
+
+	s.mu.Lock()
+	s.bs.batches++
+	s.bs.opsApplied += int64(batched)
+	if fullRemine {
+		s.bs.fullRemines++
+	}
+	s.bs.lastOps = batched
+	s.bs.last = latency
+	s.bs.total += latency
+	if latency > s.bs.max {
+		s.bs.max = latency
+	}
+	s.accumulateMergeLocked(res.MergeStats.Counters())
+	s.mu.Unlock()
+
+	for _, req := range accepted {
+		req.done <- applyResp{res: ApplyResult{
+			Epoch:        next.Epoch,
+			Ops:          len(req.ops),
+			Batched:      batched,
+			FullRemine:   fullRemine,
+			ReminedUnits: remined,
+			Latency:      latency,
+		}}
+	}
+}
+
+// mine produces the result for the staged database: incrementally
+// against a clone of the current index when the database kept its shape,
+// from scratch when graphs were appended (or incremental mining cannot
+// apply). The published snapshot's index is never mutated — that is the
+// clone's whole purpose.
+func (s *Server) mine(cur *Snapshot, db graph.Database, updated map[int]bool, appended bool) (*core.Result, bool, []int, error) {
+	if !appended {
+		updatedTIDs := make([]int, 0, len(updated))
+		for tid := range updated {
+			updatedTIDs = append(updatedTIDs, tid)
+		}
+		prev := *cur.Res // shallow copy; IncMineContext mutates only prev.Index
+		prev.Index = cur.Index.Clone()
+		inc, err := core.IncMineContext(context.Background(), db, updatedTIDs, &prev)
+		if err == nil {
+			return &inc.Result, false, inc.ReminedUnits, nil
+		}
+		// The incremental path can legitimately refuse (e.g. the update
+		// pattern changed the partition shape); fall through to a full
+		// run rather than failing the batch.
+	}
+	res, err := core.MineContext(context.Background(), db, s.opts)
+	if err != nil {
+		return nil, true, nil, err
+	}
+	return res, true, nil, nil
+}
+
+// stage validates and applies one request's ops onto the working
+// database. All-or-nothing: mutations land on request-local clones first
+// and are committed only if every op succeeds, so a rejected request
+// leaves no trace even when it shares graphs with accepted ones.
+// Touched vertices get their update frequency bumped — the partitioning
+// criteria use it to isolate update hot spots, exactly as the data
+// generator does.
+func (s *Server) stage(db *graph.Database, updated map[int]bool, appended *bool, ops []Op) error {
+	local := make(map[int]*graph.Graph)
+	var added []*graph.Graph
+
+	// get returns the request-local mutable copy of graph tid. Graphs
+	// this request appended are mutable in place; everything else is
+	// cloned on first touch.
+	get := func(tid int) (*graph.Graph, error) {
+		if tid < 0 || tid >= len(*db)+len(added) {
+			return nil, fmt.Errorf("tid %d out of range [0,%d)", tid, len(*db)+len(added))
+		}
+		if tid >= len(*db) {
+			return added[tid-len(*db)], nil
+		}
+		if g, ok := local[tid]; ok {
+			return g, nil
+		}
+		g := (*db)[tid].Clone()
+		local[tid] = g
+		return g, nil
+	}
+	parse := func(text string) (*graph.Graph, error) {
+		gs, err := graph.ReadDatabase(strings.NewReader(text))
+		if err != nil {
+			return nil, err
+		}
+		if len(gs) != 1 {
+			return nil, fmt.Errorf("expected exactly 1 graph, got %d", len(gs))
+		}
+		return gs[0], nil
+	}
+
+	for i, op := range ops {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("op %d (%s): %s", i, op.Kind, fmt.Sprintf(format, args...))
+		}
+		switch op.Kind {
+		case OpAddVertex:
+			g, err := get(op.TID)
+			if err != nil {
+				return fail("%v", err)
+			}
+			v := g.AddVertex(op.Label)
+			g.BumpUpdateFreq(v, 1)
+		case OpAddEdge:
+			g, err := get(op.TID)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if err := g.AddEdge(op.U, op.V, op.Label); err != nil {
+				return fail("%v", err)
+			}
+			g.SortAdjacency() // AddEdge invalidates the lookup invariant
+			g.BumpUpdateFreq(op.U, 1)
+			g.BumpUpdateFreq(op.V, 1)
+		case OpRemoveEdge:
+			g, err := get(op.TID)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if !g.RemoveEdge(op.U, op.V) {
+				return fail("no edge (%d,%d)", op.U, op.V)
+			}
+			g.BumpUpdateFreq(op.U, 1)
+			g.BumpUpdateFreq(op.V, 1)
+		case OpRelabelVertex:
+			g, err := get(op.TID)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if op.U < 0 || op.U >= g.VertexCount() {
+				return fail("vertex %d out of range [0,%d)", op.U, g.VertexCount())
+			}
+			g.Labels[op.U] = op.Label
+			g.BumpUpdateFreq(op.U, 1)
+		case OpRelabelEdge:
+			g, err := get(op.TID)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if !g.SetEdgeLabel(op.U, op.V, op.Label) {
+				return fail("no edge (%d,%d)", op.U, op.V)
+			}
+			g.BumpUpdateFreq(op.U, 1)
+			g.BumpUpdateFreq(op.V, 1)
+		case OpClearGraph:
+			if op.TID < 0 || op.TID >= len(*db)+len(added) {
+				return fail("tid %d out of range [0,%d)", op.TID, len(*db)+len(added))
+			}
+			if op.TID < len(*db) {
+				g := graph.New((*db)[op.TID].ID)
+				local[op.TID] = g
+			} else {
+				added[op.TID-len(*db)] = graph.New(added[op.TID-len(*db)].ID)
+			}
+		case OpReplaceGraph:
+			g, err := parse(op.Graph)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if op.TID < 0 || op.TID >= len(*db)+len(added) {
+				return fail("tid %d out of range [0,%d)", op.TID, len(*db)+len(added))
+			}
+			if op.TID < len(*db) {
+				g.ID = (*db)[op.TID].ID
+				local[op.TID] = g
+			} else {
+				g.ID = added[op.TID-len(*db)].ID
+				added[op.TID-len(*db)] = g
+			}
+		case OpAddGraph:
+			g, err := parse(op.Graph)
+			if err != nil {
+				return fail("%v", err)
+			}
+			g.ID = len(*db) + len(added)
+			added = append(added, g)
+		default:
+			return fail("unknown op kind")
+		}
+	}
+
+	// Commit: every op succeeded, fold the request-local state in.
+	for tid, g := range local {
+		(*db)[tid] = g
+		updated[tid] = true
+	}
+	for _, g := range added {
+		*db = append(*db, g)
+	}
+	if len(added) > 0 {
+		*appended = true
+	}
+	return nil
+}
+
+func (s *Server) accumulateMergeLocked(counters map[string]int64) {
+	for name, v := range counters {
+		s.bs.merge[name] += v
+	}
+}
+
+// Stats is the service-level statistics document (/v1/stats).
+type Stats struct {
+	Epoch         uint64 `json:"epoch"`
+	Graphs        int    `json:"graphs"`
+	Edges         int    `json:"edges"`
+	Patterns      int    `json:"patterns"`
+	SearchFeats   int    `json:"search_features"`
+	MinSupport    int    `json:"min_support"`
+	UptimeNS      int64  `json:"uptime_ns"`
+	SnapshotAgeNS int64  `json:"snapshot_age_ns"`
+
+	Batches        int64 `json:"batches"`
+	OpsApplied     int64 `json:"ops_applied"`
+	OpsRejected    int64 `json:"ops_rejected"`
+	FullRemines    int64 `json:"full_remines"`
+	LastBatchOps   int   `json:"last_batch_ops"`
+	LastLatencyNS  int64 `json:"last_batch_latency_ns"`
+	TotalLatencyNS int64 `json:"total_batch_latency_ns"`
+	MaxLatencyNS   int64 `json:"max_batch_latency_ns"`
+
+	// Merge holds the cumulative merge-join counters across every mining
+	// round, including the pruning counters (merge.triple_pruned,
+	// merge.sig_pruned) the feature index contributes.
+	Merge map[string]int64 `json:"merge"`
+	// Exec is the collector's per-stage phase breakdown and counters
+	// aggregated over the server's lifetime.
+	Exec exec.Metrics `json:"exec"`
+}
+
+// Stats snapshots the service statistics.
+func (s *Server) Stats() Stats {
+	snap := s.Snapshot()
+	now := time.Now()
+	st := Stats{
+		Epoch:         snap.Epoch,
+		Graphs:        len(snap.DB),
+		Edges:         snap.DB.TotalEdges(),
+		Patterns:      snap.PatternCount(),
+		SearchFeats:   snap.Search.FeatureCount(),
+		MinSupport:    snap.Res.Options.MinSupport,
+		UptimeNS:      now.Sub(s.start).Nanoseconds(),
+		SnapshotAgeNS: now.Sub(snap.Created).Nanoseconds(),
+		Exec:          s.collector.Metrics(),
+	}
+	s.mu.Lock()
+	st.Batches = s.bs.batches
+	st.OpsApplied = s.bs.opsApplied
+	st.OpsRejected = s.bs.opsRejected
+	st.FullRemines = s.bs.fullRemines
+	st.LastBatchOps = s.bs.lastOps
+	st.LastLatencyNS = s.bs.last.Nanoseconds()
+	st.TotalLatencyNS = s.bs.total.Nanoseconds()
+	st.MaxLatencyNS = s.bs.max.Nanoseconds()
+	st.Merge = make(map[string]int64, len(s.bs.merge))
+	for k, v := range s.bs.merge {
+		st.Merge[k] = v
+	}
+	s.mu.Unlock()
+	return st
+}

@@ -1,0 +1,114 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test for partserved.
+#
+# Boots the server on an ephemeral port against a small generated
+# database, exercises every HTTP endpoint with curl, verifies the
+# responses, round-trips an update, restarts from the persisted snapshot
+# (-restore), and checks the warm start answers identically. Run via
+# `make serve-smoke`; part of `make check`.
+set -eu
+
+GO="${GO:-go}"
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "$SRV_PID" ] && wait "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "serve-smoke: $*"; }
+die() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+# jget FILE KEY — extract a top-level scalar from a JSON file without jq.
+jget() {
+    sed -n "s/^.*\"$2\": *\([0-9truefals]*\).*\$/\1/p" "$1" | head -n 1
+}
+
+say "building"
+$GO build -o "$WORK/partserved" ./cmd/partserved
+$GO build -o "$WORK/datagen" ./cmd/datagen
+
+say "generating database"
+"$WORK/datagen" -d 60 -t 10 -n 5 -l 20 -i 3 -seed 11 -o "$WORK/db.txt"
+
+boot() { # boot EXTRA_ARGS... — start partserved, wait for the port file
+    rm -f "$WORK/addr"
+    "$WORK/partserved" -addr 127.0.0.1:0 -portfile "$WORK/addr" \
+        -minsup 0.1 -snapshot "$WORK/snap.txt" "$@" 2>"$WORK/server.log" &
+    SRV_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$WORK/addr" ] && break
+        kill -0 "$SRV_PID" 2>/dev/null || { cat "$WORK/server.log" >&2; die "server died during startup"; }
+        sleep 0.1
+    done
+    [ -s "$WORK/addr" ] || die "server never wrote the port file"
+    URL="http://$(cat "$WORK/addr")"
+}
+
+shutdown() {
+    kill "$SRV_PID" 2>/dev/null || true
+    wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=""
+}
+
+boot "$WORK/db.txt"
+say "server up at $URL"
+
+say "GET /healthz"
+curl -sSf "$URL/healthz" >"$WORK/health.json"
+[ "$(jget "$WORK/health.json" ok)" = "true" ] || die "healthz not ok: $(cat "$WORK/health.json")"
+
+say "GET /v1/patterns"
+curl -sSf "$URL/v1/patterns?k=5" >"$WORK/patterns.json"
+grep -q '"key"' "$WORK/patterns.json" || die "no patterns returned: $(cat "$WORK/patterns.json")"
+[ "$(jget "$WORK/patterns.json" epoch)" = "1" ] || die "unexpected epoch: $(cat "$WORK/patterns.json")"
+
+say "POST /v1/contains"
+printf 't # 0\nv 0 0\nv 1 1\ne 0 1 0\n' >"$WORK/query.txt"
+curl -sSf -X POST --data-binary @"$WORK/query.txt" "$URL/v1/contains" >"$WORK/contains.json"
+grep -q '"support"' "$WORK/contains.json" || die "contains gave no support: $(cat "$WORK/contains.json")"
+
+say "POST /v1/update"
+curl -sSf -X POST -d '{"ops":[{"op":"relabel_vertex","tid":0,"u":0,"label":3}]}' \
+    "$URL/v1/update" >"$WORK/update.json"
+[ "$(jget "$WORK/update.json" epoch)" = "2" ] || die "update did not reach epoch 2: $(cat "$WORK/update.json")"
+
+say "POST /v1/update (invalid op must be rejected)"
+code="$(curl -s -o "$WORK/badupdate.json" -w '%{http_code}' -X POST \
+    -d '{"ops":[{"op":"add_edge","tid":99999}]}' "$URL/v1/update")"
+[ "$code" = "400" ] || die "bad update returned $code: $(cat "$WORK/badupdate.json")"
+
+say "GET /v1/stats"
+curl -sSf "$URL/v1/stats" >"$WORK/stats.json"
+[ "$(jget "$WORK/stats.json" epoch)" = "2" ] || die "stats epoch: $(cat "$WORK/stats.json")"
+[ "$(jget "$WORK/stats.json" batches)" = "1" ] || die "stats batches: $(cat "$WORK/stats.json")"
+grep -q 'merge\.' "$WORK/stats.json" || die "stats has no merge counters"
+grep -q '"stages"' "$WORK/stats.json" || die "stats has no exec stage breakdown"
+
+say "pattern set after update"
+curl -sSf "$URL/v1/patterns?k=1000" >"$WORK/patterns2.json"
+
+say "restarting with -restore"
+shutdown
+[ -s "$WORK/snap.txt" ] || die "no snapshot was persisted"
+boot -restore
+curl -sSf "$URL/v1/patterns?k=1000" >"$WORK/patterns3.json"
+# The restored server republishes at epoch 1; compare only the patterns.
+sed 's/"epoch": *[0-9]*//' "$WORK/patterns2.json" >"$WORK/p2.norm"
+sed 's/"epoch": *[0-9]*//' "$WORK/patterns3.json" >"$WORK/p3.norm"
+cmp -s "$WORK/p2.norm" "$WORK/p3.norm" || die "warm start changed the pattern set"
+
+say "update after restore"
+curl -sSf -X POST -d '{"ops":[{"op":"relabel_vertex","tid":1,"u":0,"label":2}]}' \
+    "$URL/v1/update" >"$WORK/update2.json"
+[ "$(jget "$WORK/update2.json" epoch)" = "2" ] || die "post-restore update: $(cat "$WORK/update2.json")"
+
+say "graceful shutdown"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+grep -q "stopped at epoch" "$WORK/server.log" || die "no graceful shutdown message: $(cat "$WORK/server.log")"
+
+say "OK"
