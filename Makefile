@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json bench-diff serve-smoke check clean
+.PHONY: all build vet test race bench-smoke bench-json bench-diff serve-smoke obs-smoke check clean
 
 all: check
 
@@ -22,28 +22,34 @@ race:
 # iteration — it catches benchmarks broken by refactors without paying for
 # a real measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkServeUpdateBatch' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkServeUpdateBatch|BenchmarkTraceOverhead' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkInitial|BenchmarkExtensions' -benchtime 1x ./internal/extend/
 
 # bench-json regenerates the current benchmark-trajectory snapshot
-# (BENCH_PR4.json) at full benchtime, embedding the recorded pre-change
+# (BENCH_PR5.json) at full benchtime, embedding the recorded pre-change
 # baseline for side-by-side comparison.
 bench-json:
-	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR4.json -label pr4-partserve -baseline BENCH_PR4_BASELINE.json
+	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR5.json -label pr5-observability -baseline BENCH_PR5_BASELINE.json
 
 # bench-diff gates allocs/op against the recorded baseline without running
-# any benchmarks: it compares the committed BENCH_PR4.json snapshot to
-# BENCH_PR4_BASELINE.json and fails on a >10% regression. Re-record the
+# any benchmarks: it compares the committed BENCH_PR5.json snapshot to
+# BENCH_PR5_BASELINE.json and fails on a >10% regression. Re-record the
 # snapshot with bench-json after intentional changes.
 bench-diff:
-	$(GO) run ./cmd/benchrunner -diff BENCH_PR4.json -baseline BENCH_PR4_BASELINE.json
+	$(GO) run ./cmd/benchrunner -diff BENCH_PR5.json -baseline BENCH_PR5_BASELINE.json
 
 # serve-smoke boots partserved on an ephemeral port, exercises every HTTP
 # endpoint with curl, and checks the answers (see scripts/serve_smoke.sh).
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-check: build vet race bench-smoke bench-diff serve-smoke
+# obs-smoke boots partserved with the observability surface enabled and
+# asserts the /metrics exposition, the slow-op journal, the pprof
+# listener, and partminer's -trace span tree (see scripts/obs_smoke.sh).
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+check: build vet race bench-smoke bench-diff serve-smoke obs-smoke
 
 clean:
 	$(GO) clean ./...

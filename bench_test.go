@@ -126,6 +126,8 @@ func BenchmarkIndexedSupport(b *testing.B) { bench.BenchIndexedSupport(b) }
 
 func BenchmarkServeUpdateBatch(b *testing.B) { bench.BenchServeUpdateBatch(b) }
 
+func BenchmarkTraceOverhead(b *testing.B) { bench.BenchTraceOverhead(b) }
+
 func BenchmarkIncPartMiner(b *testing.B) {
 	db := benchDB(200)
 	sup := core.AbsoluteSupport(db, 0.04)

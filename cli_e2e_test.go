@@ -49,7 +49,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "frequent subgraphs in") {
 		t.Errorf("mining summary missing: %q", out)
 	}
-	if !strings.Contains(errOut, "saved result to") {
+	if !strings.Contains(errOut, "saved result") {
 		t.Errorf("save confirmation missing: %q", errOut)
 	}
 

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"partminer/internal/bench"
 )
@@ -40,7 +42,38 @@ func main() {
 	label := flag.String("label", "", "label recorded in the -benchjson snapshot (e.g. the PR name)")
 	baseline := flag.String("baseline", "", "snapshot file whose measurements are embedded as the -benchjson baseline")
 	diff := flag.String("diff", "", "compare this recorded snapshot against -baseline (or its embedded baseline) and exit 1 on >10% allocs/op regression")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *diff != "" {
 		if err := diffSnapshots(*diff, *baseline); err != nil {

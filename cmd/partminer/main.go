@@ -17,8 +17,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,6 +35,7 @@ import (
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
 	"partminer/internal/gspan"
+	"partminer/internal/obs"
 	"partminer/internal/partition"
 	"partminer/internal/pattern"
 )
@@ -53,7 +57,14 @@ func main() {
 	savePath := flag.String("save", "", "save the mining result for later incremental runs")
 	resumePath := flag.String("resume", "", "resume from a saved result instead of mining from scratch")
 	condense := flag.String("condense", "", "report only 'closed' or 'maximal' patterns (post-mining condensation)")
+	tracePath := flag.String("trace", "", "write the run's span tree as JSON to this file ('-' for stdout)")
+	flame := flag.Bool("flame", false, "print a flame-style rendering of the run's span tree to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	runID := fmt.Sprintf("run-%d-%d", os.Getpid(), time.Now().Unix())
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("run_id", runID)
 
 	// Ctrl-C / SIGTERM cancel the run cooperatively: every mining layer
 	// observes the context and unwinds with ctx.Err().
@@ -77,14 +88,70 @@ func main() {
 		// numbers under the same names.
 		defer func() {
 			if err := writeStatsJSON(*statsJSON, collector.Metrics()); err != nil {
-				fmt.Fprintln(os.Stderr, "partminer: statsjson:", err)
+				log.Error("statsjson write failed", "err", err)
 			}
 		}()
 	}
 
+	// Profiles and the trace tree are written by deferred finishers, so
+	// they cover every miner path; fatal exits skip them by design.
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Error("memprofile", "err", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Error("memprofile", "err", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+
+	// The trace root span rides the context: every layer below (core's
+	// phases, the unit miners' internal stages, merge-join, the index
+	// build) hangs its spans and stage reports off it.
+	var tracer *obs.Tracer
+	if *tracePath != "" || *flame {
+		tracer = obs.NewTracer(runID)
+		ctx = obs.WithSpan(ctx, tracer.Root())
+		defer func() {
+			tracer.Finish()
+			if *flame {
+				tracer.WriteFlame(os.Stderr)
+			}
+			if *tracePath != "" {
+				if err := writeTrace(*tracePath, tracer); err != nil {
+					log.Error("trace write failed", "err", err)
+				}
+			}
+		}()
+	}
+	// Standalone miners (-miner gspan/gaston/freetree) read the ambient
+	// observer off the context; core installs its own per-unit fan-out on
+	// top of this one. The indirection through a plain Observer keeps a
+	// nil *Collector from becoming a non-nil interface.
+	var runObs exec.Observer
+	if collector != nil {
+		runObs = collector
+	}
+	ctx = obs.ObserverInContext(ctx, runObs)
+
 	db := readDB(flag.Arg(0))
 	sup := absSupport(db, *minsup)
-	fmt.Fprintf(os.Stderr, "%d graphs, minimum support %d\n", len(db), sup)
+	log.Info("database loaded", "graphs", len(db), "min_support", sup)
 
 	var bis partition.Bisector
 	switch *criteria {
@@ -158,7 +225,7 @@ func main() {
 		res, err = core.LoadResult(f, db)
 		f.Close()
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "resumed %d patterns from %s\n", len(res.Patterns), *resumePath)
+			log.Info("resumed from saved result", "patterns", len(res.Patterns), "path", *resumePath)
 		}
 	} else {
 		res, err = core.MineContext(ctx, db, opts)
@@ -167,7 +234,7 @@ func main() {
 		fatal(err)
 	}
 	for _, derr := range res.Degraded {
-		fmt.Fprintln(os.Stderr, "partminer: degraded:", derr)
+		log.Warn("unit degraded", "err", derr)
 	}
 	elapsed := time.Since(start)
 
@@ -180,13 +247,12 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "saved result to %s\n", *savePath)
+		log.Info("saved result", "path", *savePath)
 	}
 
 	if *updatedPath == "" {
 		report(condenseSet(res.Patterns, *condense), elapsed, *showAll)
-		fmt.Fprintf(os.Stderr, "phase times: partition %v, units %v, merge %v\n",
-			res.PartitionTime, res.UnitTimes, res.MergeTime)
+		log.Info("phase times", "partition", res.PartitionTime, "units", fmt.Sprint(res.UnitTimes), "merge", res.MergeTime)
 		return
 	}
 
@@ -217,7 +283,7 @@ func main() {
 		fatal(err)
 	}
 	for _, derr := range inc.Degraded {
-		fmt.Fprintln(os.Stderr, "partminer: degraded:", derr)
+		log.Warn("unit degraded", "err", derr)
 	}
 	report(condenseSet(inc.Patterns, *condense), time.Since(start), *showAll)
 	if *savePath != "" {
@@ -229,10 +295,9 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "saved updated result to %s\n", *savePath)
+		log.Info("saved updated result", "path", *savePath)
 	}
-	fmt.Fprintf(os.Stderr, "incremental: %d graphs updated, %d/%d units re-mined\n",
-		len(tids), len(inc.ReminedUnits), *k)
+	log.Info("incremental run", "graphs_updated", len(tids), "units_remined", len(inc.ReminedUnits), "k", *k)
 	fmt.Fprintf(os.Stderr, "UF (unchanged frequent):    %d\n", len(inc.UF))
 	fmt.Fprintf(os.Stderr, "FI (frequent->infrequent):  %d\n", len(inc.FI))
 	fmt.Fprintf(os.Stderr, "IF (infrequent->frequent):  %d\n", len(inc.IF))
@@ -300,6 +365,20 @@ func report(set pattern.Set, elapsed time.Duration, showAll bool) {
 			fmt.Printf("%s support=%d\n", p.Code, p.Support)
 		}
 	}
+}
+
+// writeTrace renders the tracer's span tree as JSON to path; "-" means
+// stdout.
+func writeTrace(path string, t *obs.Tracer) error {
+	if path == "-" {
+		return t.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteJSON(f)
 }
 
 // writeStatsJSON renders the run's exec.Metrics to path; "-" means

@@ -18,8 +18,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -46,7 +48,13 @@ func main() {
 	featEdges := flag.Int("featedges", 0, "max feature size for the containment index (0 = default)")
 	snapshotPath := flag.String("snapshot", "", "persist every published snapshot to this file (atomic rename)")
 	restore := flag.Bool("restore", false, "warm-start from the -snapshot file instead of mining the database argument")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (off when empty)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "journal operations slower than this to /v1/debug/slow (0 = 100ms default, negative disables)")
+	slowLogSize := flag.Int("slowlog", 0, "slow-operation journal capacity (0 = 64 default)")
 	flag.Parse()
+
+	runID := fmt.Sprintf("serve-%d-%d", os.Getpid(), time.Now().Unix())
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("run_id", runID)
 
 	var bis partition.Bisector
 	switch *criteria {
@@ -66,17 +74,41 @@ func main() {
 	defer stopSignals()
 
 	cfg := server.Config{
-		Mine:        core.Options{K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Workers: *workers, Bisector: bis},
-		Search:      query.IndexOptions{MaxFeatureEdges: *featEdges},
-		BatchWindow: *batchWindow,
+		Mine:          core.Options{K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Workers: *workers, Bisector: bis},
+		Search:        query.IndexOptions{MaxFeatureEdges: *featEdges},
+		BatchWindow:   *batchWindow,
+		Logger:        log,
+		SlowThreshold: *slowThreshold,
+		SlowLogSize:   *slowLogSize,
 	}
 	if *snapshotPath != "" {
 		path := *snapshotPath
 		cfg.OnSwap = func(snap *server.Snapshot) {
 			if err := saveSnapshot(path, snap); err != nil {
-				fmt.Fprintln(os.Stderr, "partserved: snapshot save:", err)
+				log.Error("snapshot save failed", "err", err)
 			}
 		}
+	}
+
+	// Opt-in profiling listener, separate from the API address so the
+	// debug surface is never exposed by accident.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		log.Info("pprof listening", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				log.Error("pprof server exited", "err", err)
+			}
+		}()
 	}
 
 	var srv *server.Server
@@ -94,8 +126,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "partserved: restored %d graphs, %d patterns from %s\n",
-			len(db), len(res.Patterns), *snapshotPath)
+		log.Info("restored snapshot", "graphs", len(db), "patterns", len(res.Patterns), "path", *snapshotPath)
 		srv, err = server.Restore(ctx, db, res, cfg)
 		if err != nil {
 			fatal(err)
@@ -114,15 +145,15 @@ func main() {
 			fatal(err)
 		}
 		cfg.Mine.MinSupport = absSupport(db, *minsup)
-		fmt.Fprintf(os.Stderr, "partserved: %d graphs, minimum support %d\n", len(db), cfg.Mine.MinSupport)
+		log.Info("database loaded", "graphs", len(db), "minsup", cfg.Mine.MinSupport)
 		srv, err = server.Start(ctx, db, cfg)
 		if err != nil {
 			fatal(err)
 		}
 	}
 	snap := srv.Snapshot()
-	fmt.Fprintf(os.Stderr, "partserved: epoch %d ready with %d patterns in %v\n",
-		snap.Epoch, snap.PatternCount(), time.Since(start).Round(time.Millisecond))
+	log.Info("ready", "epoch", snap.Epoch, "patterns", snap.PatternCount(),
+		"boot", time.Since(start).Round(time.Millisecond))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -133,7 +164,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "partserved: listening on %s\n", ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -141,7 +172,7 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "partserved: shutting down")
+		log.Info("shutting down")
 	case err := <-errc:
 		fatal(err)
 	}
@@ -151,10 +182,11 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "partserved: shutdown:", err)
+		log.Error("shutdown failed", "err", err)
 	}
 	srv.Close()
-	fmt.Fprintf(os.Stderr, "partserved: stopped at epoch %d\n", srv.Snapshot().Epoch)
+	// serve_smoke.sh greps for this exact phrase; keep it stable.
+	log.Info("stopped at epoch", "epoch", srv.Snapshot().Epoch)
 }
 
 // saveSnapshot persists atomically: a crash mid-write must not corrupt

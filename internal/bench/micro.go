@@ -24,6 +24,7 @@ import (
 	"partminer/internal/gspan"
 	"partminer/internal/index"
 	"partminer/internal/isomorph"
+	"partminer/internal/obs"
 	"partminer/internal/server"
 )
 
@@ -166,6 +167,24 @@ func BenchServeUpdateBatch(b *testing.B) {
 	}
 }
 
+// BenchTraceOverhead mines the BenchGastonMine workload through the
+// context-aware entry point with observability disabled — no observer and
+// no ambient span, exactly the hot path production takes when tracing is
+// off. Its ns/op against BenchmarkGastonMine in the same snapshot bounds
+// what the instrumentation seams (ObserverFrom lookups, nil-guard timing
+// branches) cost at rest; the budget is 2%.
+func BenchTraceOverhead(b *testing.B) {
+	db, sup, ix := MicroDB(), MicroSupport(), MicroIndex()
+	ctx := obs.ObserverInContext(context.Background(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gaston.MineContext(ctx, db, gaston.Options{MinSupport: sup, Index: ix}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Micro is one named micro-benchmark family tracked in the BENCH_*.json
 // trajectory.
 type Micro struct {
@@ -183,6 +202,7 @@ func Micros() []Micro {
 		{"BenchmarkPartMinerK2", BenchPartMinerK2},
 		{"BenchmarkIndexedSupport", BenchIndexedSupport},
 		{"BenchmarkServeUpdateBatch", BenchServeUpdateBatch},
+		{"BenchmarkTraceOverhead", BenchTraceOverhead},
 	}
 }
 

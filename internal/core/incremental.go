@@ -8,6 +8,7 @@ import (
 	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/index"
+	"partminer/internal/obs"
 	"partminer/internal/partition"
 	"partminer/internal/pattern"
 )
@@ -63,7 +64,7 @@ func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int
 			len(newDB), len(prev.Tree.Root.DB))
 	}
 
-	obs := opts.Observer
+	o := opts.Observer
 	res := &IncResult{}
 	updated := pattern.NewTIDSet(len(newDB))
 	for _, tid := range updatedTIDs {
@@ -76,7 +77,7 @@ func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int
 	// Re-partition. Unchanged graphs split deterministically into the
 	// same pieces, so piece comparison below isolates the changed units.
 	start := time.Now()
-	endStage := exec.StageTimer(obs, "partition")
+	_, endStage := obs.Phase(ctx, o, "partition")
 	tree, err := partition.DBPartition(newDB, opts.K, opts.Bisector)
 	endStage()
 	if err != nil {
@@ -118,13 +119,14 @@ func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int
 
 	pool := opts.pool()
 	unitErrs := make([]error, len(remineIdx))
-	endStage = exec.StageTimer(obs, "units")
-	err = pool.Map(ctx, len(remineIdx), func(j int) {
+	uctx0, endStage := obs.Phase(ctx, o, "units")
+	err = pool.MapCtx(uctx0, len(remineIdx), func(tctx context.Context, j int) {
 		i := remineIdx[j]
-		endUnit := exec.StageTimer(obs, fmt.Sprintf("unit.%d", i))
+		uctx, endUnit := obs.Phase(tctx, o, fmt.Sprintf("unit.%d", i))
 		defer endUnit()
+		uctx = obs.ObserverInContext(uctx, o)
 		t0 := time.Now()
-		set, uerr := opts.unitMiner()(ctx, newLeaves[i].DB, ceilDiv(opts.MinSupport, opts.K), opts.MaxEdges)
+		set, uerr := opts.unitMiner()(uctx, newLeaves[i].DB, ceilDiv(opts.MinSupport, opts.K), opts.MaxEdges)
 		if set == nil {
 			set = make(pattern.Set)
 		}
@@ -144,7 +146,7 @@ func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int
 			return nil, ctx.Err()
 		}
 		res.Degraded = append(res.Degraded, fmt.Errorf("unit %d: %w", remineIdx[j], uerr))
-		exec.Count(obs, "units.degraded", 1)
+		exec.Count(o, "units.degraded", 1)
 	}
 
 	// IncMergeJoin chain: replay the merges with the old node sets so
@@ -156,12 +158,12 @@ func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int
 	if prev.Index != nil {
 		prev.Index.Update(newDB, updatedTIDs)
 		res.Index = prev.Index
-	} else if res.Index, err = index.BuildContext(ctx, newDB, pool, obs); err != nil {
+	} else if res.Index, err = index.BuildContext(ctx, newDB, pool, o); err != nil {
 		return nil, err
 	}
-	endStage = exec.StageTimer(obs, "merge")
+	mctx, endStage := obs.Phase(ctx, o, "merge")
 	res.NodeSets = make(map[string]pattern.Set)
-	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, prev.NodeSets, updated, &res.MergeStats, pool, res.Index)
+	res.Patterns, err = solve(mctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, prev.NodeSets, updated, &res.MergeStats, pool, res.Index)
 	endStage()
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"partminer/internal/graph"
 	"partminer/internal/index"
 	"partminer/internal/mergejoin"
+	"partminer/internal/obs"
 	"partminer/internal/partition"
 	"partminer/internal/pattern"
 )
@@ -211,12 +212,12 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 	// pure functions of the code, so every unit miner (and both engines)
 	// can share the verdict cache through the context.
 	ctx = dfscode.WithMemo(ctx)
-	obs := opts.Observer
+	o := opts.Observer
 	res := &Result{}
 
 	// Phase 1: divide the database into k units.
 	start := time.Now()
-	endStage := exec.StageTimer(obs, "partition")
+	_, endStage := obs.Phase(ctx, o, "partition")
 	tree, err := partition.DBPartition(db, opts.K, opts.Bisector)
 	endStage()
 	if err != nil {
@@ -237,11 +238,17 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 
 	pool := opts.pool()
 	unitErrs := make([]error, len(leaves))
-	mineLeaf := func(i int) {
-		endUnit := exec.StageTimer(obs, fmt.Sprintf("unit.%d", i))
+	// Each unit opens its own "unit.<i>" phase inside the pooled task, so
+	// the span it hangs off the ambient trace attributes the work to the
+	// right unit even when the shared pool interleaves them; the merged
+	// observer (run observer + unit span) rides the context into the unit
+	// miner, which reports its internal phases through exec.ObserverFrom.
+	mineLeaf := func(tctx context.Context, i int) {
+		uctx, endUnit := obs.Phase(tctx, o, fmt.Sprintf("unit.%d", i))
 		defer endUnit()
+		uctx = obs.ObserverInContext(uctx, o)
 		t0 := time.Now()
-		set, err := opts.unitMiner()(ctx, leaves[i].DB, res.UnitSupport, opts.MaxEdges)
+		set, err := opts.unitMiner()(uctx, leaves[i].DB, res.UnitSupport, opts.MaxEdges)
 		if set == nil {
 			set = make(pattern.Set)
 		}
@@ -249,8 +256,8 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 		res.UnitTimes[i] = time.Since(t0)
 		unitErrs[i] = err
 	}
-	endStage = exec.StageTimer(obs, "units")
-	err = pool.Map(ctx, len(leaves), mineLeaf)
+	uctx, endStage := obs.Phase(ctx, o, "units")
+	err = pool.MapCtx(uctx, len(leaves), mineLeaf)
 	endStage()
 	if err != nil {
 		return nil, err
@@ -263,7 +270,7 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 			return nil, ctx.Err()
 		}
 		res.Degraded = append(res.Degraded, fmt.Errorf("unit %d: %w", i, uerr))
-		exec.Count(obs, "units.degraded", 1)
+		exec.Count(o, "units.degraded", 1)
 	}
 
 	// Phase 2b: combine results bottom-up with merge-join. The full
@@ -271,13 +278,13 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 	// merge's candidate pruning; inner nodes cover sub-databases and
 	// build their own inside MergeContext.
 	t0 := time.Now()
-	res.Index, err = index.BuildContext(ctx, db, pool, obs)
+	res.Index, err = index.BuildContext(ctx, db, pool, o)
 	if err != nil {
 		return nil, err
 	}
-	endStage = exec.StageTimer(obs, "merge")
+	mctx, endStage := obs.Phase(ctx, o, "merge")
 	res.NodeSets = make(map[string]pattern.Set)
-	res.Patterns, err = solve(ctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, nil, nil, &res.MergeStats, pool, res.Index)
+	res.Patterns, err = solve(mctx, tree.Root, "", res.UnitPatterns, opts, res.NodeSets, nil, nil, &res.MergeStats, pool, res.Index)
 	endStage()
 	if err != nil {
 		return nil, err
@@ -326,8 +333,8 @@ func solve(ctx context.Context, n *partition.Node, path string, units []pattern.
 		cfg.Old = oldSets[path]
 		cfg.Updated = updated
 	}
-	endStage := exec.StageTimer(opts.Observer, "merge."+nodePathLabel(path))
-	set, err := mergejoin.MergeContext(ctx, n.DB, left, right, cfg)
+	nctx, endStage := obs.Phase(ctx, opts.Observer, "merge."+nodePathLabel(path))
+	set, err := mergejoin.MergeContext(nctx, n.DB, left, right, cfg)
 	endStage()
 	if err != nil {
 		return nil, err

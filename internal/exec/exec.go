@@ -120,6 +120,15 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 // the same pool (the worker budget they hold would deadlock the inner
 // call).
 func (p *Pool) Map(ctx context.Context, n int, f func(i int)) error {
+	return p.MapCtx(ctx, n, func(_ context.Context, i int) { f(i) })
+}
+
+// MapCtx is Map with the scheduling context handed to each task, so work
+// that must propagate context values (the active trace span, the ambient
+// observer) into pooled goroutines has an explicit path for it. The
+// context each task receives is the one Map was called with — tasks that
+// derive their own (e.g. to attach a per-task span) do so inside f.
+func (p *Pool) MapCtx(ctx context.Context, n int, f func(ctx context.Context, i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -129,7 +138,7 @@ func (p *Pool) Map(ctx context.Context, n int, f func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			f(i)
+			f(ctx, i)
 		}
 		return ctx.Err()
 	}
@@ -151,7 +160,7 @@ func (p *Pool) Map(ctx context.Context, n int, f func(i int)) error {
 		wg.Add(1)
 		go func(i int) {
 			defer func() { <-p.sem; wg.Done() }()
-			f(i)
+			f(ctx, i)
 		}(i)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -82,6 +83,27 @@ func (m multiObserver) Counter(name string, delta int64) {
 	}
 }
 
+type observerKey struct{}
+
+// WithObserver returns a context carrying o as the ambient observer for
+// layers that are reached only through a context (the unit miners behind
+// core.Options.UnitMiner). A nil o returns ctx unchanged.
+func WithObserver(ctx context.Context, o Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerKey{}, o)
+}
+
+// ObserverFrom returns the context's ambient observer, or nil.
+func ObserverFrom(ctx context.Context) Observer {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(observerKey{}).(Observer)
+	return o
+}
+
 // StageStat aggregates every completed run of one stage name.
 type StageStat struct {
 	// Stage is the reported stage name.
@@ -91,6 +113,11 @@ type StageStat struct {
 	// Total is the summed wall-clock duration across calls
 	// (JSON-encoded as nanoseconds).
 	Total time.Duration `json:"total_ns"`
+	// Min and Max bound the individual call durations, exposing skew
+	// across repeated stages (e.g. the per-unit mining times of §5's
+	// Fig. 8). Zero when Calls is zero.
+	Min time.Duration `json:"min_ns"`
+	Max time.Duration `json:"max_ns"`
 }
 
 // Metrics is the export form of a Collector: the per-phase stage
@@ -115,9 +142,10 @@ func (m Metrics) String() string {
 				width = len(st.Stage)
 			}
 		}
-		fmt.Fprintf(&b, "%-*s  %6s  %12s\n", width, "stage", "calls", "total")
+		fmt.Fprintf(&b, "%-*s  %6s  %12s  %12s  %12s\n", width, "stage", "calls", "total", "min", "max")
 		for _, st := range m.Stages {
-			fmt.Fprintf(&b, "%-*s  %6d  %12v\n", width, st.Stage, st.Calls, st.Total.Round(time.Microsecond))
+			fmt.Fprintf(&b, "%-*s  %6d  %12v  %12v  %12v\n", width, st.Stage, st.Calls,
+				st.Total.Round(time.Microsecond), st.Min.Round(time.Microsecond), st.Max.Round(time.Microsecond))
 		}
 	}
 	if len(m.Counters) > 0 {
@@ -144,8 +172,13 @@ type Collector struct {
 	counters map[string]int64
 }
 
-// StageStart records the first-seen order of stage names.
+// StageStart records the first-seen order of stage names. Like every
+// reporting method, it is safe on a nil receiver, so a nil *Collector
+// smuggled into an Observer interface cannot crash a run.
 func (c *Collector) StageStart(stage string) {
+	if c == nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stage(stage)
@@ -167,15 +200,27 @@ func (c *Collector) stage(name string) *StageStat {
 
 // StageEnd accumulates one completed stage run.
 func (c *Collector) StageEnd(stage string, d time.Duration) {
+	if c == nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stage(stage)
+	if st.Calls == 0 || d < st.Min {
+		st.Min = d
+	}
+	if d > st.Max {
+		st.Max = d
+	}
 	st.Calls++
 	st.Total += d
 }
 
 // Counter accumulates a named counter.
 func (c *Collector) Counter(name string, delta int64) {
+	if c == nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.counters == nil {

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectorMinMax(t *testing.T) {
+	var c Collector
+	c.StageEnd("s", 5*time.Millisecond)
+	c.StageEnd("s", 2*time.Millisecond)
+	c.StageEnd("s", 9*time.Millisecond)
+	st := c.Stages()[0]
+	if st.Min != 2*time.Millisecond || st.Max != 9*time.Millisecond {
+		t.Fatalf("min/max = %v/%v, want 2ms/9ms", st.Min, st.Max)
+	}
+	// A single observation pins min and max together.
+	c.StageEnd("one", 4*time.Millisecond)
+	for _, st := range c.Stages() {
+		if st.Stage == "one" && (st.Min != 4*time.Millisecond || st.Max != 4*time.Millisecond) {
+			t.Fatalf("single-call min/max = %v/%v", st.Min, st.Max)
+		}
+	}
+	// A zero-duration call must become the new min, not be skipped.
+	c.StageEnd("s", 0)
+	if got := c.Stages()[0].Min; got != 0 {
+		t.Fatalf("zero-duration min = %v, want 0", got)
+	}
+}
+
+func TestStageTimerNilObserver(t *testing.T) {
+	end := StageTimer(nil, "s") // must not panic
+	end()
+	Count(nil, "c", 3) // likewise
+	var m Observer = Multi(nil)
+	if m != nil {
+		t.Fatal("Multi() of nothing should be nil")
+	}
+}
+
+func TestStageTimerReportsElapsed(t *testing.T) {
+	var c Collector
+	end := StageTimer(&c, "s")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	if got := c.StageTotal("s"); got < time.Millisecond {
+		t.Fatalf("StageTotal = %v, want >= 1ms", got)
+	}
+}
+
+func TestObserverContextRoundTrip(t *testing.T) {
+	if ObserverFrom(context.Background()) != nil {
+		t.Fatal("empty context should carry no observer")
+	}
+	var c Collector
+	ctx := WithObserver(context.Background(), &c)
+	if ObserverFrom(ctx) != Observer(&c) {
+		t.Fatal("observer did not round-trip through the context")
+	}
+	// Installing nil is a no-op, preserving any outer observer.
+	if ObserverFrom(WithObserver(ctx, nil)) != Observer(&c) {
+		t.Fatal("WithObserver(nil) clobbered the ambient observer")
+	}
+}
+
+func TestMapCtxPassesContext(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(workers)
+		var ok, ran atomic.Int64
+		err := pool.MapCtx(ctx, 16, func(tctx context.Context, i int) {
+			ran.Add(1)
+			if tctx.Value(key{}) == "v" {
+				ok.Add(1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 16 || ok.Load() != 16 {
+			t.Fatalf("workers=%d: ran=%d ok=%d, want 16/16", workers, ran.Load(), ok.Load())
+		}
+	}
+}

@@ -90,14 +90,23 @@ func MineWithStats(db graph.Database, opts Options) (pattern.Set, Stats) {
 	return set, stats
 }
 
-// MineWithStatsContext combines MineContext and MineWithStats.
+// MineWithStatsContext combines MineContext and MineWithStats. The
+// context's ambient observer (exec.ObserverFrom, installed per unit by
+// core) receives the engine's internal phases — "gaston.seeds",
+// "gaston.grow" or "gaston.freetree" — and the per-phase pattern counts
+// as counters; with no observer attached the reporting costs one context
+// lookup.
 func MineWithStatsContext(ctx context.Context, db graph.Database, opts Options) (pattern.Set, Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}
+	o := exec.ObserverFrom(ctx)
 	tick := exec.NewTicker(ctx)
 	if opts.Engine == EngineFreeTree {
+		endStage := exec.StageTimer(o, "gaston.freetree")
 		set, stats := mineFreeTree(db, opts, tick)
+		endStage()
+		reportStats(o, stats)
 		return set, stats, tick.Err()
 	}
 	memo := dfscode.MemoFrom(ctx)
@@ -114,7 +123,11 @@ func MineWithStatsContext(ctx context.Context, db graph.Database, opts Options) 
 	}
 	// Fig. 7 line 1: find all frequent edges; every frequent edge is a
 	// (trivial) path and the root of both phases.
-	for _, c := range initialCandidates(m.ext, m.src, opts) {
+	endStage := exec.StageTimer(o, "gaston.seeds")
+	seeds := initialCandidates(m.ext, m.src, opts)
+	endStage()
+	endStage = exec.StageTimer(o, "gaston.grow")
+	for _, c := range seeds {
 		if tick.Hit() {
 			break
 		}
@@ -124,7 +137,17 @@ func MineWithStatsContext(ctx context.Context, db graph.Database, opts Options) 
 			m.growAcyclic(code, c.Proj)
 		}
 	}
+	endStage()
+	reportStats(o, m.stats)
 	return m.out, m.stats, tick.Err()
+}
+
+// reportStats publishes the per-phase pattern counts on the observer
+// seam under the gaston.* counter namespace.
+func reportStats(o exec.Observer, s Stats) {
+	exec.Count(o, "gaston.paths", int64(s.Paths))
+	exec.Count(o, "gaston.trees", int64(s.Trees))
+	exec.Count(o, "gaston.cyclic", int64(s.Cyclic))
 }
 
 // initialCandidates seeds the frequent 1-edge projections — from the

@@ -52,10 +52,16 @@ func Mine(db graph.Database, opts Options) pattern.Set {
 // aborts promptly once it is cancelled. On cancellation the partial set
 // mined so far is returned together with ctx.Err(); only a nil error
 // guarantees a complete result.
+// The context's ambient observer (exec.ObserverFrom, installed per unit
+// by core) receives the miner's internal phases — "gspan.seeds" for the
+// 1-edge seeding scan, "gspan.grow" for the recursive growth — and a
+// "gspan.patterns" counter; with no observer attached the reporting
+// costs one context lookup.
 func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.Set, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	o := exec.ObserverFrom(ctx)
 	memo := dfscode.MemoFrom(ctx)
 	if memo == nil {
 		memo = dfscode.NewCanonMemo()
@@ -68,7 +74,11 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.
 		ext:  extend.NewExtender(),
 		memo: memo,
 	}
-	for _, c := range initialCandidates(m.ext, m.src, opts) {
+	endStage := exec.StageTimer(o, "gspan.seeds")
+	seeds := initialCandidates(m.ext, m.src, opts)
+	endStage()
+	endStage = exec.StageTimer(o, "gspan.grow")
+	for _, c := range seeds {
 		if m.tick.Hit() {
 			break
 		}
@@ -78,6 +88,8 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (pattern.
 			m.grow(code, c.Proj)
 		}
 	}
+	endStage()
+	exec.Count(o, "gspan.patterns", int64(len(m.out)))
 	return m.out, m.tick.Err()
 }
 

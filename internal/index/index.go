@@ -35,6 +35,7 @@ import (
 	"partminer/internal/extend"
 	"partminer/internal/graph"
 	"partminer/internal/isomorph"
+	"partminer/internal/obs"
 	"partminer/internal/pattern"
 )
 
@@ -286,8 +287,13 @@ func Build(db graph.Database) *FeatureIndex {
 // and posting lists on pool when one is provided (nil builds serially).
 // The build is reported to obs as stage "index.build". On cancellation it
 // returns nil and ctx.Err().
-func BuildContext(ctx context.Context, db graph.Database, pool *exec.Pool, obs exec.Observer) (*FeatureIndex, error) {
-	defer exec.StageTimer(obs, "index.build")()
+func BuildContext(ctx context.Context, db graph.Database, pool *exec.Pool, o exec.Observer) (*FeatureIndex, error) {
+	// When the run is traced, fold the active span into the reporting
+	// target so index construction shows up on the trace tree.
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		o = exec.Multi(o, sp)
+	}
+	defer exec.StageTimer(o, "index.build")()
 	ix := &FeatureIndex{
 		db:         db,
 		labelTIDs:  make(map[int]*pattern.TIDSet),
@@ -321,7 +327,7 @@ func BuildContext(ctx context.Context, db graph.Database, pool *exec.Pool, obs e
 	for tid := range db {
 		ix.addInverted(tid)
 	}
-	exec.Count(obs, "index.triples", int64(len(ix.tripleTIDs)))
+	exec.Count(o, "index.triples", int64(len(ix.tripleTIDs)))
 	return ix, nil
 }
 

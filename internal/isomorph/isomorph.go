@@ -128,6 +128,10 @@ type Matcher struct {
 	// cancellation; an aborted search reports "no match" and the caller
 	// is expected to discard the result after observing the context.
 	tick *exec.Ticker
+	// steps counts search-tree nodes (match invocations) across the
+	// matcher's lifetime — the observability currency for VF2 effort,
+	// reported by query.Find as the "vf2.steps" counter.
+	steps int64
 }
 
 // VertexLister provides per-label vertex posting lists for one target
@@ -223,6 +227,7 @@ func (m *Matcher) feasible(pv, tv int) bool {
 // order. visit is called with the complete mapping; returning false stops
 // the search.
 func (m *Matcher) match(idx int, visit func(mapping []int) bool) bool {
+	m.steps++
 	if m.tick.Hit() {
 		return false // cancelled: abandon the search
 	}
@@ -303,6 +308,11 @@ func (m *Matcher) search(target *graph.Graph, visit func(mapping []int) bool) {
 		m.mapping[i] = -1 // early-stopped searches leave assignments behind
 	}
 }
+
+// Steps returns the cumulative number of search-tree nodes the matcher
+// has explored. The delta across a batch of Contains calls measures
+// verification effort independent of wall clock.
+func (m *Matcher) Steps() int64 { return m.steps }
 
 // Contains reports whether the matcher's pattern is contained in target.
 func (m *Matcher) Contains(target *graph.Graph) bool {

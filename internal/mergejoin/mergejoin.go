@@ -23,12 +23,14 @@ package mergejoin
 import (
 	"context"
 	"sync"
+	"time"
 
 	"partminer/internal/dfscode"
 	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/index"
 	"partminer/internal/isomorph"
+	"partminer/internal/obs"
 	"partminer/internal/pattern"
 )
 
@@ -154,6 +156,12 @@ func Merge(s graph.Database, p0, p1 pattern.Set, cfg Config) pattern.Set {
 func MergeContext(ctx context.Context, s graph.Database, p0, p1 pattern.Set, cfg Config) (pattern.Set, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// When the run is traced, fold the active span into the reporting
+	// fan-out so this merge's stage timings and counters land on the
+	// span core opened for it (spans implement exec.Observer).
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		cfg.Observer = exec.Multi(cfg.Observer, sp)
 	}
 	tick := exec.NewTicker(ctx)
 	minSup := cfg.minSup()
@@ -313,12 +321,25 @@ func verifyAll(ctx context.Context, s graph.Database, cands map[string]*candidat
 
 	out := make(pattern.Set, len(items)/2)
 	total := Stats{Candidates: int64(len(items)), UnitSeeded: unitSeeded}
+	// Per-candidate verification timing feeds the "merge.verify"
+	// histogram/span aggregation. Timed inline (no defer closures) and
+	// only with an observer attached, so the uninstrumented path stays
+	// allocation-free.
+	o := cfg.Observer
 	if cfg.Pool == nil || cfg.Pool.Workers() == 1 || len(items) < 2 {
 		for _, it := range items {
 			if tick.Hit() {
 				return nil, tick.Err()
 			}
-			if p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &total, tick); p != nil {
+			var t0 time.Time
+			if o != nil {
+				t0 = time.Now()
+			}
+			p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &total, tick)
+			if o != nil {
+				o.StageEnd("merge.verify", time.Since(t0))
+			}
+			if p != nil {
 				out[it.key] = p
 				total.Frequent++
 			}
@@ -328,7 +349,14 @@ func verifyAll(ctx context.Context, s graph.Database, cands map[string]*candidat
 		err := cfg.Pool.Map(ctx, len(items), func(i int) {
 			it := items[i]
 			var st Stats
+			var t0 time.Time
+			if o != nil {
+				t0 = time.Now()
+			}
 			p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &st, tick)
+			if o != nil {
+				o.StageEnd("merge.verify", time.Since(t0))
+			}
 			if p != nil {
 				st.Frequent++
 			}

@@ -1,0 +1,363 @@
+package obs
+
+// metrics.go: fixed-bucket histograms, counters, and gauges in a
+// Registry that renders Prometheus text exposition (format 0.0.4) — on
+// the standard library alone, expvar-style. All instruments are safe for
+// concurrent use; observation paths are lock-free (atomics only).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partminer/internal/exec"
+)
+
+// DurationBuckets is the default latency bucket ladder, in seconds: a
+// coarse exponential from 50µs to 30s. It spans VF2 matches (µs) through
+// full re-mine folds (seconds) with ~2.5x resolution.
+var DurationBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket histogram. Buckets hold cumulative-style
+// per-bucket counts internally and are rendered cumulatively (le=...) at
+// exposition time.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations; Sum their total.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the buckets with
+// the usual linear interpolation inside the target bucket; observations
+// beyond the last bound clamp to it. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // clamp the +Inf bucket
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Quantiles is the p50/p95/p99 digest of a histogram, the form /v1/stats
+// embeds.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Quantiles digests the histogram.
+func (h *Histogram) Quantiles() Quantiles {
+	return Quantiles{Count: h.Count(), P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99)}
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; negative deltas are ignored (counters are
+// monotonic by contract).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// metric is one exposition family.
+type metric struct {
+	name, help, typ string
+	write           func(w io.Writer, name string)
+	hist            *Histogram    // set for plain histogram families
+	vec             *HistogramVec // set for labeled histogram families
+	counter         *Counter      // set for counter families
+}
+
+// Registry holds named metric families and renders them in registration
+// order. Names must match Prometheus conventions ([a-zA-Z_:][a-zA-Z0-9_:]*);
+// registering a name twice returns the existing instrument, so wiring
+// code can be idempotent.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help, typ string, build func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := build()
+	m.name, m.help, m.typ = name, help, typ
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Histogram registers (or returns) an unlabeled histogram family. A nil
+// buckets slice selects DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, help, "histogram", func() *metric {
+		h := newHistogram(buckets)
+		return &metric{hist: h, write: func(w io.Writer, fam string) { writeHistogram(w, fam, "", h) }}
+	})
+	return m.hist
+}
+
+// HistogramVec registers (or returns) a histogram family keyed by one
+// label (e.g. endpoint). Children are created on first use.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	m := r.register(name, help, "histogram", func() *metric {
+		v := &HistogramVec{label: label, buckets: buckets, children: make(map[string]*Histogram)}
+		return &metric{vec: v, write: v.writeAll}
+	})
+	return m.vec
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, "counter", func() *metric {
+		c := &Counter{}
+		return &metric{counter: c, write: func(w io.Writer, fam string) {
+			fmt.Fprintf(w, "%s %d\n", fam, c.Value())
+		}}
+	})
+	return m.counter
+}
+
+// GaugeFunc registers a gauge whose value is read at exposition time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(name, help, "gauge", func() *metric {
+		return &metric{write: func(w io.Writer, fam string) {
+			fmt.Fprintf(w, "%s %s\n", fam, formatFloat(f()))
+		}}
+	})
+}
+
+// CounterFunc registers a counter whose value is read at exposition time
+// (for monotonic values owned elsewhere, e.g. batch statistics).
+func (r *Registry) CounterFunc(name, help string, f func() int64) {
+	r.register(name, help, "counter", func() *metric {
+		return &metric{write: func(w io.Writer, fam string) {
+			fmt.Fprintf(w, "%s %d\n", fam, f())
+		}}
+	})
+}
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct {
+	label   string
+	buckets []float64
+	mu      sync.RWMutex
+	order   []string
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.children[value]; ok {
+		return h
+	}
+	h = newHistogram(v.buckets)
+	v.children[value] = h
+	v.order = append(v.order, value)
+	return h
+}
+
+// Children returns the label values with registered children, in first-
+// use order.
+func (v *HistogramVec) Children() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, len(v.order))
+	copy(out, v.order)
+	return out
+}
+
+func (v *HistogramVec) writeAll(w io.Writer, fam string) {
+	for _, value := range v.Children() {
+		writeHistogram(w, fam, fmt.Sprintf("%s=%q", v.label, value), v.With(value))
+	}
+}
+
+// writeHistogram renders one histogram series in exposition format.
+// labels, when non-empty, is a pre-rendered `name="value"` list without
+// braces; le is appended to it.
+func writeHistogram(w io.Writer, fam, labels string, h *Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", fam, labels, sep, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", fam, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", fam, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", fam, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", fam, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", fam, labels, h.Count())
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family, in registration
+// order, as Prometheus text exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	families := make([]*metric, len(r.ordered))
+	copy(families, r.ordered)
+	r.mu.Unlock()
+	for _, m := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		m.write(w, m.name)
+	}
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// SanitizeName maps a dotted observer-seam name ("merge.sig_pruned") to
+// a Prometheus-legal metric name fragment ("merge_sig_pruned").
+func SanitizeName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		legal := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !legal {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// StageObserver bridges the exec.Observer seam onto registry metrics:
+// each StageEnd duration is routed to the histogram mapStage selects for
+// that stage name (nil drops it), and each counter delta is routed to
+// the counter mapCounter selects (nil drops it). StageStart is ignored —
+// histograms need only the duration. Pass the result into an exec.Multi
+// chain alongside the Collector.
+func StageObserver(mapStage func(stage string) *Histogram, mapCounter func(name string) *Counter) exec.Observer {
+	return &stageObserver{mapStage: mapStage, mapCounter: mapCounter}
+}
+
+type stageObserver struct {
+	mapStage   func(string) *Histogram
+	mapCounter func(string) *Counter
+}
+
+func (o *stageObserver) StageStart(string) {}
+
+func (o *stageObserver) StageEnd(stage string, d time.Duration) {
+	if o.mapStage == nil {
+		return
+	}
+	if h := o.mapStage(stage); h != nil {
+		h.ObserveDuration(d)
+	}
+}
+
+func (o *stageObserver) Counter(name string, delta int64) {
+	if o.mapCounter == nil {
+		return
+	}
+	if c := o.mapCounter(name); c != nil {
+		c.Add(delta)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+// slowlog.go: a bounded ring-buffer journal of slow operations. The
+// server records any query/update/fold whose duration crosses a
+// threshold, together with its span tree, and serves the journal at
+// /v1/debug/slow.
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one journaled slow operation.
+type SlowEntry struct {
+	Time     time.Time        `json:"time"`
+	Kind     string           `json:"kind"`   // e.g. "http", "fold"
+	Detail   string           `json:"detail"` // endpoint, run id, ...
+	Duration time.Duration    `json:"duration_ns"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Trace    *Node            `json:"trace,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of SlowEntry records with a
+// duration threshold. Safe for concurrent use.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu      sync.Mutex
+	entries []SlowEntry // ring storage
+	next    int         // write cursor
+	total   uint64      // entries ever recorded
+}
+
+// NewSlowLog returns a journal keeping the most recent size entries that
+// meet or exceed threshold. A non-positive size defaults to 64; a
+// non-positive threshold records nothing (Record always filters).
+func NewSlowLog(size int, threshold time.Duration) *SlowLog {
+	if size <= 0 {
+		size = 64
+	}
+	return &SlowLog{threshold: threshold, entries: make([]SlowEntry, 0, size)}
+}
+
+// Threshold returns the minimum duration an operation must take to be
+// journaled.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record journals e if its duration crosses the threshold. Safe on a nil
+// receiver. Reports whether the entry was kept.
+func (l *SlowLog) Record(e SlowEntry) bool {
+	if l == nil || l.threshold <= 0 || e.Duration < l.threshold {
+		return false
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	if len(l.entries) < cap(l.entries) {
+		l.entries = append(l.entries, e)
+	} else {
+		l.entries[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.entries)
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Entries returns the journaled operations, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.entries))
+	// Walk backwards from the cursor: the newest entry is at next-1.
+	for i := 0; i < len(l.entries); i++ {
+		idx := (l.next - 1 - i + 2*cap(l.entries)) % cap(l.entries)
+		if idx >= len(l.entries) {
+			continue
+		}
+		out = append(out, l.entries[idx])
+	}
+	return out
+}
+
+// Total returns how many operations have ever been journaled (including
+// ones the ring has since overwritten).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

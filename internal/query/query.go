@@ -17,7 +17,9 @@ package query
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"partminer/internal/exec"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
 	"partminer/internal/index"
@@ -33,6 +35,10 @@ type IndexOptions struct {
 	// MaxFeatureEdges bounds feature size (default 4). Larger features
 	// prune more but cost more per query.
 	MaxFeatureEdges int
+	// Observer, when non-nil, receives a "vf2.match" stage end for every
+	// exact isomorphism verification Find runs, so servers can histogram
+	// match latency. Nil (the default) adds no per-match work.
+	Observer exec.Observer
 }
 
 func (o IndexOptions) normalize(dbLen int) IndexOptions {
@@ -166,6 +172,7 @@ func (ix *Index) Find(q *graph.Graph) ([]int, Stats) {
 	var out []int
 	m := ix.fx.NewMatcher(q) // one rarest-root match order for every candidate
 	qsig := index.SigOf(q)
+	o := ix.opts.Observer
 	for _, tid := range cand.Slice() {
 		// Signature domination dismisses candidates whose label
 		// histogram, triple counts, or per-label degrees cannot host q.
@@ -173,10 +180,21 @@ func (ix *Index) Find(q *graph.Graph) ([]int, Stats) {
 			st.SigPruned++
 			continue
 		}
-		if m.ContainsPostedTick(ix.db[tid], ix.fx.Lister(tid), nil) {
+		// Each VF2 run is timed inline (no defer closures) and only when
+		// an observer is attached, keeping the default path 0-alloc.
+		var t0 time.Time
+		if o != nil {
+			t0 = time.Now()
+		}
+		hit := m.ContainsPostedTick(ix.db[tid], ix.fx.Lister(tid), nil)
+		if o != nil {
+			o.StageEnd("vf2.match", time.Since(t0))
+		}
+		if hit {
 			out = append(out, tid)
 		}
 	}
+	exec.Count(o, "vf2.steps", m.Steps())
 	st.Verified = len(out)
 	return out, st
 }

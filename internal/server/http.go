@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"partminer/internal/graph"
+	"partminer/internal/obs"
 	"partminer/internal/pattern"
 )
 
@@ -42,28 +44,59 @@ func patternToJSON(p *pattern.Pattern, withTIDs bool) patternJSON {
 //
 //	GET  /healthz              liveness + current epoch
 //	GET  /v1/stats             Stats (epoch, batch latencies, exec phases,
-//	                           merge-join pruning counters)
+//	                           merge-join pruning counters, latency digests)
 //	GET  /v1/patterns          top-k frequent patterns; ?k=, ?minsize=,
 //	                           ?tids=1; or one pattern by ?key=
 //	POST /v1/contains          graph text (or {"graph": "..."}) -> ids of
 //	                           database graphs containing it
 //	POST /v1/update            {"ops": [...]} -> applied atomically,
 //	                           responds after the snapshot swap
+//	GET  /metrics              Prometheus text exposition (partserve_*)
+//	GET  /v1/debug/slow        slow-operation journal, newest first,
+//	                           with span trees
 //
 // Every read handler answers from one snapshot load, so each response is
-// consistent with exactly one epoch even while updates fold in.
+// consistent with exactly one epoch even while updates fold in. Every
+// endpoint (the exposition endpoints aside) runs under the instrument
+// middleware: a per-request trace on the request context, the endpoint
+// latency histogram, and slow-request journaling.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": s.Snapshot().Epoch})
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", false, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
-	})
-	mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
-	mux.HandleFunc("POST /v1/contains", s.handleContains)
-	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	}))
+	mux.HandleFunc("GET /v1/patterns", s.instrument("patterns", true, s.handlePatterns))
+	mux.HandleFunc("POST /v1/contains", s.instrument("contains", true, s.handleContains))
+	mux.HandleFunc("POST /v1/update", s.instrument("update", false, s.handleUpdate))
+	mux.Handle("GET /metrics", s.metrics.registry.Handler())
+	mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
 	return mux
+}
+
+// instrument wraps one endpoint with the request observability stack: a
+// per-request trace whose root span rides the request context, the
+// endpoint latency histogram, the query counter, and a slow-log entry
+// (with the trace tree) when the request crosses the slow threshold.
+func (s *Server) instrument(endpoint string, isQuery bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tracer := obs.NewTracer("http." + endpoint)
+		r = r.WithContext(obs.WithSpan(r.Context(), tracer.Root()))
+		t0 := time.Now()
+		h(w, r)
+		tracer.Finish()
+		s.observeRequest(endpoint, isQuery, time.Since(t0), tracer)
+	}
+}
+
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ns": s.slow.Threshold().Nanoseconds(),
+		"total":        s.slow.Total(),
+		"entries":      s.slow.Entries(),
+	})
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,112 @@
+package server
+
+// obs.go: the server's observability surface — the Prometheus metric
+// registry behind /metrics, the observer bridge that feeds it from the
+// exec seam, and the slow-operation journal behind /v1/debug/slow.
+//
+// Metric name registry (all under the partserve_ prefix):
+//
+//	partserve_http_request_seconds{endpoint}  HTTP latency per endpoint
+//	partserve_update_fold_seconds             update-batch fold latency
+//	partserve_unit_mine_seconds               per-unit mining duration
+//	partserve_merge_verify_seconds            merge candidate verification
+//	partserve_vf2_match_seconds               VF2 match time (query path)
+//	partserve_queries_total                   read queries served
+//	partserve_updates_total                   update ops applied
+//	partserve_epoch                           current snapshot epoch
+//	partserve_uptime_seconds                  process uptime
+//	partserve_<counter>_total                 every observer-seam counter
+//	                                          (merge.*, index.*, gaston.*),
+//	                                          dots mapped to underscores
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"partminer/internal/exec"
+	"partminer/internal/obs"
+)
+
+// serverMetrics bundles the registry with the instruments the server
+// feeds directly.
+type serverMetrics struct {
+	registry    *obs.Registry
+	httpLatency *obs.HistogramVec
+	foldLatency *obs.Histogram
+	unitMine    *obs.Histogram
+	mergeVerify *obs.Histogram
+	vf2         *obs.Histogram
+	queries     *obs.Counter
+
+	// seam maps observer counter names onto registered counters; built
+	// lazily because the counter namespace (merge.*, index.*, ...) is
+	// open-ended.
+	mu   sync.Mutex
+	seam map[string]*obs.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	r := obs.NewRegistry()
+	return &serverMetrics{
+		registry:    r,
+		httpLatency: r.HistogramVec("partserve_http_request_seconds", "HTTP request latency by endpoint.", "endpoint", nil),
+		foldLatency: r.Histogram("partserve_update_fold_seconds", "Update-batch fold latency (staging, mining, snapshot swap).", nil),
+		unitMine:    r.Histogram("partserve_unit_mine_seconds", "Per-unit mining duration across re-mine rounds.", nil),
+		mergeVerify: r.Histogram("partserve_merge_verify_seconds", "Merge-join candidate verification time.", nil),
+		vf2:         r.Histogram("partserve_vf2_match_seconds", "VF2 subgraph-isomorphism match time on the query path.", nil),
+		queries:     r.Counter("partserve_queries_total", "Read queries served (patterns, contains)."),
+	}
+}
+
+// observer returns the exec.Observer that routes seam events into the
+// registry: stage durations onto the histograms above, counters onto
+// partserve_<name>_total counters.
+func (m *serverMetrics) observer() exec.Observer {
+	return obs.StageObserver(m.mapStage, m.mapCounter)
+}
+
+func (m *serverMetrics) mapStage(stage string) *obs.Histogram {
+	switch {
+	case stage == "merge.verify":
+		return m.mergeVerify
+	case stage == "vf2.match":
+		return m.vf2
+	case strings.HasPrefix(stage, "unit."):
+		return m.unitMine
+	}
+	return nil
+}
+
+func (m *serverMetrics) mapCounter(name string) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.seam[name]; ok {
+		return c
+	}
+	if m.seam == nil {
+		m.seam = make(map[string]*obs.Counter)
+	}
+	c := m.registry.Counter("partserve_"+obs.SanitizeName(name)+"_total",
+		"Observer-seam counter "+name+".")
+	m.seam[name] = c
+	return c
+}
+
+// observeRequest journals and logs one completed request; called by the
+// endpoint middleware in http.go after the handler returns.
+func (s *Server) observeRequest(endpoint string, isQuery bool, d time.Duration, tracer *obs.Tracer) {
+	s.metrics.httpLatency.With(endpoint).ObserveDuration(d)
+	if isQuery {
+		s.metrics.queries.Inc()
+	}
+	if s.slow.Threshold() > 0 && d >= s.slow.Threshold() {
+		s.slow.Record(obs.SlowEntry{
+			Kind:     "http",
+			Detail:   endpoint,
+			Duration: d,
+			Trace:    tracer.Tree(),
+		})
+		s.logger.Warn("slow request", "endpoint", endpoint, "duration", d)
+	}
+}

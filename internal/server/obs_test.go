@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scrape fetches /metrics through the real handler and returns the body.
+func scrape(t *testing.T, s *Server) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// metricValue extracts an unlabeled sample's value from an exposition
+// body; -1 when the family is absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// TestMetricsExposition checks the families the acceptance criteria name
+// appear as valid exposition after one fold and one query.
+func TestMetricsExposition(t *testing.T) {
+	s := mustStart(t, testDB(31, 10), testConfig())
+	if _, err := s.Apply(context.Background(), []Op{{Kind: OpRelabelVertex, TID: 0, U: 0, Label: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/patterns?k=3", nil))
+	if rec.Code != 200 {
+		t.Fatalf("patterns status %d", rec.Code)
+	}
+
+	body := scrape(t, s)
+	for _, want := range []string{
+		"# TYPE partserve_http_request_seconds histogram",
+		`partserve_http_request_seconds_bucket{endpoint="patterns",le="+Inf"} 1`,
+		"# TYPE partserve_update_fold_seconds histogram",
+		"partserve_update_fold_seconds_count 1",
+		"partserve_unit_mine_seconds_count",
+		"partserve_queries_total 1",
+		"partserve_updates_total 1",
+		"partserve_epoch 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, body)
+		}
+	}
+	if metricValue(body, "partserve_uptime_seconds") < 0 {
+		t.Fatal("no uptime gauge")
+	}
+}
+
+// TestMetricsMonotonicDuringSwaps hammers /metrics and /v1/stats while
+// update folds swap snapshots, asserting the cumulative counters never
+// move backwards. Run under -race this also proves the scrape path is
+// data-race free against the fold path.
+func TestMetricsMonotonicDuringSwaps(t *testing.T) {
+	s := mustStart(t, testDB(32, 10), testConfig())
+
+	done := make(chan struct{})
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 15; i++ {
+			ops := []Op{{Kind: OpRelabelVertex, TID: i % 10, U: 0, Label: i % 3}}
+			if _, err := s.Apply(context.Background(), ops); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	var lastUpdates, lastFolds, lastEpoch float64
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		body := scrape(t, s)
+		updates := metricValue(body, "partserve_updates_total")
+		folds := metricValue(body, "partserve_update_fold_seconds_count")
+		epoch := metricValue(body, "partserve_epoch")
+		if updates < lastUpdates || folds < lastFolds || epoch < lastEpoch {
+			t.Fatalf("counter went backwards: updates %v->%v folds %v->%v epoch %v->%v",
+				lastUpdates, updates, lastFolds, folds, lastEpoch, epoch)
+		}
+		lastUpdates, lastFolds, lastEpoch = updates, folds, epoch
+
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+		if rec.Code != 200 {
+			t.Fatalf("/v1/stats status %d", rec.Code)
+		}
+	}
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+	if body := scrape(t, s); metricValue(body, "partserve_updates_total") != 15 {
+		t.Fatalf("final updates_total = %v, want 15", metricValue(body, "partserve_updates_total"))
+	}
+}
+
+// TestStatsDigestsAndSlowJournal covers the /v1/stats satellite fields
+// and the hair-trigger slow journal end to end.
+func TestStatsDigestsAndSlowJournal(t *testing.T) {
+	cfg := testConfig()
+	cfg.SlowThreshold = time.Nanosecond // journal everything
+	s := mustStart(t, testDB(33, 10), cfg)
+
+	if _, err := s.Apply(context.Background(), []Op{{Kind: OpRelabelVertex, TID: 1, U: 0, Label: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/patterns?k=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("patterns status %d", rec.Code)
+	}
+
+	st := s.Stats()
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", st.UptimeSeconds)
+	}
+	if st.Updates != 1 || st.Queries != 1 {
+		t.Fatalf("updates/queries = %d/%d, want 1/1", st.Updates, st.Queries)
+	}
+	if st.FoldLatency.Count != 1 || st.FoldLatency.P50 <= 0 {
+		t.Fatalf("fold latency digest = %+v", st.FoldLatency)
+	}
+	if _, ok := st.HTTPLatency["patterns"]; !ok {
+		t.Fatalf("no patterns latency digest: %+v", st.HTTPLatency)
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/slow", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/v1/debug/slow status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"kind": "fold"`) || !strings.Contains(body, `"kind": "http"`) {
+		t.Fatalf("slow journal missing fold/http entries:\n%s", body)
+	}
+	if !strings.Contains(body, `"trace"`) {
+		t.Fatalf("slow entries carry no span trees:\n%s", body)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/index"
+	"partminer/internal/obs"
 	"partminer/internal/query"
 )
 
@@ -101,6 +104,15 @@ type Config struct {
 	// Observer receives execution events from every mining round, in
 	// addition to the server's own collector. Optional.
 	Observer exec.Observer
+	// Logger receives the server's structured log stream (fold summaries,
+	// slow operations) with run ids. Nil discards.
+	Logger *slog.Logger
+	// SlowThreshold is the duration above which operations (HTTP requests,
+	// update folds) are journaled to the slow log with their span trees;
+	// default 100ms, negative disables the journal.
+	SlowThreshold time.Duration
+	// SlowLogSize is the slow-log ring capacity; default 64.
+	SlowLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +125,18 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0 // journal disabled
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -124,6 +148,11 @@ type Server struct {
 	opts      core.Options // cfg.Mine with the merged observer, normalized by first mine
 	collector *exec.Collector
 	start     time.Time
+
+	metrics *serverMetrics
+	slow    *obs.SlowLog
+	logger  *slog.Logger
+	foldSeq atomic.Uint64 // fold run-id sequence
 
 	snap atomic.Pointer[Snapshot]
 	reqs chan *applyReq
@@ -182,7 +211,7 @@ func Restore(ctx context.Context, db graph.Database, res *core.Result, cfg Confi
 	// Work on a shallow copy: the caller's result must not adopt our
 	// observers or index.
 	own := *res
-	own.Options.Observer = exec.Multi(own.Options.Observer, s.cfg.Observer, s.collector)
+	own.Options.Observer = s.mergedObserver(own.Options.Observer)
 	if own.Index == nil {
 		fx, err := index.BuildContext(ctx, db, nil, own.Options.Observer)
 		if err != nil {
@@ -198,15 +227,43 @@ func newServer(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg.withDefaults(),
 		collector: &exec.Collector{},
+		metrics:   newServerMetrics(),
 		start:     time.Now(),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	s.slow = obs.NewSlowLog(s.cfg.SlowLogSize, s.cfg.SlowThreshold)
+	s.logger = s.cfg.Logger
 	s.bs.merge = make(map[string]int64)
 	s.reqs = make(chan *applyReq, s.cfg.QueueDepth)
 	s.opts = s.cfg.Mine
-	s.opts.Observer = exec.Multi(s.opts.Observer, s.cfg.Observer, s.collector)
+	s.opts.Observer = s.mergedObserver(s.opts.Observer)
+	// The containment index (query path) reports through the same fan-out
+	// so VF2 match times land in the vf2 histogram and collector.
+	s.cfg.Search.Observer = s.mergedObserver(s.cfg.Search.Observer)
+	// Exposition-time gauges: read the live server state at scrape.
+	s.metrics.registry.GaugeFunc("partserve_epoch", "Current snapshot epoch.", func() float64 {
+		if snap := s.snap.Load(); snap != nil {
+			return float64(snap.Epoch)
+		}
+		return 0
+	})
+	s.metrics.registry.GaugeFunc("partserve_uptime_seconds", "Process uptime.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	s.metrics.registry.CounterFunc("partserve_updates_total", "Update ops applied.", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.bs.opsApplied
+	})
 	return s
+}
+
+// mergedObserver fans a caller-supplied observer out to the server's
+// full reporting stack: the caller's own observer, the config observer,
+// the stats collector, and the metrics-registry bridge.
+func (s *Server) mergedObserver(own exec.Observer) exec.Observer {
+	return exec.Multi(own, s.cfg.Observer, s.collector, s.metrics.observer())
 }
 
 func (s *Server) launch(db graph.Database, res *core.Result) *Server {
@@ -331,10 +388,16 @@ func (s *Server) gather(first *applyReq) []*applyReq {
 }
 
 // fold applies one batch to a copy-on-write database, re-mines, and
-// publishes the next snapshot.
+// publishes the next snapshot. Every fold runs under its own trace whose
+// root span rides the mining context, so the phase spans core opens
+// (partition / unit.<i> / merge) attribute the fold's cost; slow folds
+// land in the journal with the full tree.
 func (s *Server) fold(batch []*applyReq) {
 	t0 := time.Now()
 	cur := s.snap.Load()
+	runID := fmt.Sprintf("fold-%d", s.foldSeq.Add(1))
+	tracer := obs.NewTracer(runID)
+	ctx := obs.WithSpan(context.Background(), tracer.Root())
 
 	// Copy-on-write staging: the slice is copied, graphs are cloned only
 	// when touched. Graphs the batch never touches stay shared with the
@@ -360,8 +423,9 @@ func (s *Server) fold(batch []*applyReq) {
 		return
 	}
 
-	res, fullRemine, remined, err := s.mine(cur, db, updated, appended)
+	res, fullRemine, remined, err := s.mine(ctx, cur, db, updated, appended)
 	if err != nil {
+		s.logger.Error("fold failed", "run_id", runID, "ops", batched, "err", err)
 		for _, req := range accepted {
 			req.done <- applyResp{err: err}
 		}
@@ -377,6 +441,20 @@ func (s *Server) fold(batch []*applyReq) {
 		s.cfg.OnSwap(next)
 	}
 	s.snap.Store(next)
+
+	tracer.Finish()
+	s.metrics.foldLatency.ObserveDuration(latency)
+	s.logger.Info("fold published", "run_id", runID, "epoch", next.Epoch,
+		"ops", batched, "full_remine", fullRemine, "duration", latency)
+	if s.slow.Record(obs.SlowEntry{
+		Kind:     "fold",
+		Detail:   runID,
+		Duration: latency,
+		Counters: map[string]int64{"ops": int64(batched), "epoch": int64(next.Epoch)},
+		Trace:    tracer.Tree(),
+	}) {
+		s.logger.Warn("slow fold", "run_id", runID, "duration", latency)
+	}
 
 	s.mu.Lock()
 	s.bs.batches++
@@ -410,7 +488,7 @@ func (s *Server) fold(batch []*applyReq) {
 // from scratch when graphs were appended (or incremental mining cannot
 // apply). The published snapshot's index is never mutated — that is the
 // clone's whole purpose.
-func (s *Server) mine(cur *Snapshot, db graph.Database, updated map[int]bool, appended bool) (*core.Result, bool, []int, error) {
+func (s *Server) mine(ctx context.Context, cur *Snapshot, db graph.Database, updated map[int]bool, appended bool) (*core.Result, bool, []int, error) {
 	if !appended {
 		updatedTIDs := make([]int, 0, len(updated))
 		for tid := range updated {
@@ -418,7 +496,7 @@ func (s *Server) mine(cur *Snapshot, db graph.Database, updated map[int]bool, ap
 		}
 		prev := *cur.Res // shallow copy; IncMineContext mutates only prev.Index
 		prev.Index = cur.Index.Clone()
-		inc, err := core.IncMineContext(context.Background(), db, updatedTIDs, &prev)
+		inc, err := core.IncMineContext(ctx, db, updatedTIDs, &prev)
 		if err == nil {
 			return &inc.Result, false, inc.ReminedUnits, nil
 		}
@@ -426,7 +504,7 @@ func (s *Server) mine(cur *Snapshot, db graph.Database, updated map[int]bool, ap
 		// pattern changed the partition shape); fall through to a full
 		// run rather than failing the batch.
 	}
-	res, err := core.MineContext(context.Background(), db, s.opts)
+	res, err := core.MineContext(ctx, db, s.opts)
 	if err != nil {
 		return nil, true, nil, err
 	}
@@ -589,9 +667,16 @@ type Stats struct {
 	Edges         int    `json:"edges"`
 	Patterns      int    `json:"patterns"`
 	SearchFeats   int    `json:"search_features"`
-	MinSupport    int    `json:"min_support"`
-	UptimeNS      int64  `json:"uptime_ns"`
-	SnapshotAgeNS int64  `json:"snapshot_age_ns"`
+	MinSupport    int     `json:"min_support"`
+	UptimeNS      int64   `json:"uptime_ns"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	SnapshotAgeNS int64   `json:"snapshot_age_ns"`
+
+	// Queries counts read queries served (patterns + contains requests);
+	// Updates is the cumulative applied-op count (alias of OpsApplied
+	// under the counter-style name the observability layer uses).
+	Queries int64 `json:"queries_total"`
+	Updates int64 `json:"updates_total"`
 
 	Batches        int64 `json:"batches"`
 	OpsApplied     int64 `json:"ops_applied"`
@@ -609,6 +694,11 @@ type Stats struct {
 	// Exec is the collector's per-stage phase breakdown and counters
 	// aggregated over the server's lifetime.
 	Exec exec.Metrics `json:"exec"`
+
+	// Latency digests (p50/p95/p99, in seconds) of the server's core
+	// histograms; the full distributions are exposed at /metrics.
+	FoldLatency obs.Quantiles            `json:"fold_latency_seconds"`
+	HTTPLatency map[string]obs.Quantiles `json:"http_latency_seconds,omitempty"`
 }
 
 // Stats snapshots the service statistics.
@@ -623,12 +713,22 @@ func (s *Server) Stats() Stats {
 		SearchFeats:   snap.Search.FeatureCount(),
 		MinSupport:    snap.Res.Options.MinSupport,
 		UptimeNS:      now.Sub(s.start).Nanoseconds(),
+		UptimeSeconds: now.Sub(s.start).Seconds(),
 		SnapshotAgeNS: now.Sub(snap.Created).Nanoseconds(),
+		Queries:       s.metrics.queries.Value(),
 		Exec:          s.collector.Metrics(),
+		FoldLatency:   s.metrics.foldLatency.Quantiles(),
+	}
+	if eps := s.metrics.httpLatency.Children(); len(eps) > 0 {
+		st.HTTPLatency = make(map[string]obs.Quantiles, len(eps))
+		for _, ep := range eps {
+			st.HTTPLatency[ep] = s.metrics.httpLatency.With(ep).Quantiles()
+		}
 	}
 	s.mu.Lock()
 	st.Batches = s.bs.batches
 	st.OpsApplied = s.bs.opsApplied
+	st.Updates = s.bs.opsApplied
 	st.OpsRejected = s.bs.opsRejected
 	st.FullRemines = s.bs.fullRemines
 	st.LastBatchOps = s.bs.lastOps

@@ -1,0 +1,99 @@
+#!/bin/sh
+# obs_smoke.sh — smoke test for the observability surface.
+#
+# Boots partserved with the pprof listener and a hair-trigger slow
+# threshold, folds one update, and asserts the Prometheus exposition at
+# /metrics, the slow-op journal at /v1/debug/slow, and the pprof index.
+# Then runs partminer -trace and checks the span tree covers the
+# partition/units/merge phases. Run via `make obs-smoke`; part of
+# `make check`.
+set -eu
+
+GO="${GO:-go}"
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "$SRV_PID" ] && wait "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "obs-smoke: $*"; }
+
+die() {
+    echo "obs-smoke: FAIL: $*" >&2
+    if [ -s "$WORK/server.log" ]; then
+        echo "obs-smoke: --- server stderr ---" >&2
+        cat "$WORK/server.log" >&2
+    fi
+    exit 1
+}
+
+say "building"
+$GO build -o "$WORK/partserved" ./cmd/partserved
+$GO build -o "$WORK/partminer" ./cmd/partminer
+$GO build -o "$WORK/datagen" ./cmd/datagen
+
+say "generating database"
+"$WORK/datagen" -d 60 -t 10 -n 5 -l 20 -i 3 -seed 11 -o "$WORK/db.txt"
+
+say "booting partserved with -debug-addr and a 1µs slow threshold"
+"$WORK/partserved" -addr 127.0.0.1:0 -portfile "$WORK/addr" \
+    -minsup 0.1 -debug-addr 127.0.0.1:0 -slow-threshold 1us \
+    "$WORK/db.txt" 2>"$WORK/server.log" &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$WORK/addr" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || die "server died during startup"
+    sleep 0.1
+done
+[ -s "$WORK/addr" ] || die "server never wrote the port file"
+URL="http://$(cat "$WORK/addr")"
+say "server up at $URL"
+
+say "folding one update"
+curl -sSf -X POST -d '{"ops":[{"op":"relabel_vertex","tid":0,"u":0,"label":3}]}' \
+    "$URL/v1/update" >/dev/null || die "update failed"
+curl -sSf "$URL/v1/patterns?k=3" >/dev/null || die "patterns query failed"
+
+say "GET /metrics"
+curl -sSf "$URL/metrics" >"$WORK/metrics.txt" || die "metrics scrape failed"
+for family in \
+    partserve_http_request_seconds_bucket \
+    partserve_update_fold_seconds_count \
+    partserve_unit_mine_seconds_count \
+    partserve_queries_total \
+    partserve_updates_total \
+    partserve_epoch \
+    partserve_uptime_seconds; do
+    grep -q "^$family" "$WORK/metrics.txt" || die "metrics missing $family"
+done
+grep -q '^# TYPE partserve_http_request_seconds histogram' "$WORK/metrics.txt" \
+    || die "exposition lacks the histogram TYPE line"
+[ "$(grep -c 'le="+Inf"' "$WORK/metrics.txt")" -ge 2 ] \
+    || die "histograms lack +Inf buckets"
+
+say "GET /v1/debug/slow"
+curl -sSf "$URL/v1/debug/slow" >"$WORK/slow.json" || die "slow journal scrape failed"
+grep -q '"threshold_ns"' "$WORK/slow.json" || die "slow journal malformed: $(cat "$WORK/slow.json")"
+grep -q '"kind"' "$WORK/slow.json" || die "1µs threshold journaled nothing: $(cat "$WORK/slow.json")"
+
+say "GET pprof index"
+DEBUG_ADDR="$(sed -n 's/.*msg="pprof listening".* addr=\([0-9.:]*\).*/\1/p' "$WORK/server.log" | head -n 1)"
+[ -n "$DEBUG_ADDR" ] || die "server never logged the pprof address"
+curl -sSf "http://$DEBUG_ADDR/debug/pprof/" >"$WORK/pprof.html" || die "pprof index scrape failed"
+grep -qi 'profile' "$WORK/pprof.html" || die "pprof index looks wrong"
+
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+say "partminer -trace"
+"$WORK/partminer" -minsup 0.1 -k 2 -trace "$WORK/trace.json" "$WORK/db.txt" \
+    >/dev/null 2>"$WORK/miner.log" || { cat "$WORK/miner.log" >&2; die "partminer -trace run failed"; }
+for span in partition units unit.0 unit.1 merge; do
+    grep -q "\"name\": *\"$span\"" "$WORK/trace.json" || die "trace lacks the $span span"
+done
+
+say "OK"

@@ -19,7 +19,17 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 say() { echo "serve-smoke: $*"; }
-die() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+# die dumps the server's stderr before failing so a broken run is
+# diagnosable from CI output alone.
+die() {
+    echo "serve-smoke: FAIL: $*" >&2
+    if [ -s "$WORK/server.log" ]; then
+        echo "serve-smoke: --- server stderr ---" >&2
+        cat "$WORK/server.log" >&2
+    fi
+    exit 1
+}
 
 # jget FILE KEY — extract a top-level scalar from a JSON file without jq.
 jget() {
@@ -40,7 +50,7 @@ boot() { # boot EXTRA_ARGS... — start partserved, wait for the port file
     SRV_PID=$!
     for _ in $(seq 1 100); do
         [ -s "$WORK/addr" ] && break
-        kill -0 "$SRV_PID" 2>/dev/null || { cat "$WORK/server.log" >&2; die "server died during startup"; }
+        kill -0 "$SRV_PID" 2>/dev/null || die "server died during startup"
         sleep 0.1
     done
     [ -s "$WORK/addr" ] || die "server never wrote the port file"
@@ -86,6 +96,20 @@ curl -sSf "$URL/v1/stats" >"$WORK/stats.json"
 [ "$(jget "$WORK/stats.json" batches)" = "1" ] || die "stats batches: $(cat "$WORK/stats.json")"
 grep -q 'merge\.' "$WORK/stats.json" || die "stats has no merge counters"
 grep -q '"stages"' "$WORK/stats.json" || die "stats has no exec stage breakdown"
+grep -q '"uptime_seconds"' "$WORK/stats.json" || die "stats has no uptime"
+grep -q '"queries_total"' "$WORK/stats.json" || die "stats has no query counter"
+grep -q '"updates_total"' "$WORK/stats.json" || die "stats has no update counter"
+
+say "GET /metrics"
+curl -sSf "$URL/metrics" >"$WORK/metrics.txt"
+grep -q '^partserve_http_request_seconds_bucket' "$WORK/metrics.txt" \
+    || die "metrics lack request-latency histogram: $(head -5 "$WORK/metrics.txt")"
+grep -q '^partserve_update_fold_seconds_count 1' "$WORK/metrics.txt" \
+    || die "metrics lack the update-fold histogram count"
+
+say "GET /v1/debug/slow"
+curl -sSf "$URL/v1/debug/slow" >"$WORK/slow.json"
+grep -q '"threshold_ns"' "$WORK/slow.json" || die "slow journal malformed: $(cat "$WORK/slow.json")"
 
 say "pattern set after update"
 curl -sSf "$URL/v1/patterns?k=1000" >"$WORK/patterns2.json"
