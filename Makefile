@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json bench-diff serve-smoke obs-smoke check clean
+.PHONY: all build vet test race bench-smoke bench-json bench-diff serve-smoke obs-smoke part-smoke check clean
 
 all: check
 
@@ -22,21 +22,21 @@ race:
 # iteration — it catches benchmarks broken by refactors without paying for
 # a real measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkServeUpdateBatch|BenchmarkTraceOverhead' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkServeUpdateBatch|BenchmarkTraceOverhead|BenchmarkPartitionStrategies|BenchmarkScheduleCostFirst|BenchmarkScheduleIndexOrder' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkInitial|BenchmarkExtensions' -benchtime 1x ./internal/extend/
 
 # bench-json regenerates the current benchmark-trajectory snapshot
-# (BENCH_PR5.json) at full benchtime, embedding the recorded pre-change
+# (BENCH_PR6.json) at full benchtime, embedding the recorded pre-change
 # baseline for side-by-side comparison.
 bench-json:
-	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR5.json -label pr5-observability -baseline BENCH_PR5_BASELINE.json
+	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR6.json -label pr6-partition-strategies -baseline BENCH_PR6_BASELINE.json
 
 # bench-diff gates allocs/op against the recorded baseline without running
-# any benchmarks: it compares the committed BENCH_PR5.json snapshot to
-# BENCH_PR5_BASELINE.json and fails on a >10% regression. Re-record the
+# any benchmarks: it compares the committed BENCH_PR6.json snapshot to
+# BENCH_PR6_BASELINE.json and fails on a >10% regression. Re-record the
 # snapshot with bench-json after intentional changes.
 bench-diff:
-	$(GO) run ./cmd/benchrunner -diff BENCH_PR5.json -baseline BENCH_PR5_BASELINE.json
+	$(GO) run ./cmd/benchrunner -diff BENCH_PR6.json -baseline BENCH_PR6_BASELINE.json
 
 # serve-smoke boots partserved on an ephemeral port, exercises every HTTP
 # endpoint with curl, and checks the answers (see scripts/serve_smoke.sh).
@@ -49,7 +49,16 @@ serve-smoke:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-check: build vet race bench-smoke bench-diff serve-smoke obs-smoke
+# part-smoke runs every registered partition strategy end to end through
+# the partminer CLI on a hub-heavy database, asserts the quality metrics
+# in -statsjson, checks all strategies agree on the pattern set, and
+# boots partserved under a non-default strategy to assert the quality
+# block in /v1/stats and the partition gauges in /metrics
+# (see scripts/part_smoke.sh).
+part-smoke:
+	./scripts/part_smoke.sh
+
+check: build vet race bench-smoke bench-diff serve-smoke obs-smoke part-smoke
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"partminer/internal/fsg"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
+	"partminer/internal/partition"
 )
 
 // smallScale keeps the per-iteration figure sweeps affordable under
@@ -127,6 +128,18 @@ func BenchmarkIndexedSupport(b *testing.B) { bench.BenchIndexedSupport(b) }
 func BenchmarkServeUpdateBatch(b *testing.B) { bench.BenchServeUpdateBatch(b) }
 
 func BenchmarkTraceOverhead(b *testing.B) { bench.BenchTraceOverhead(b) }
+
+// One sub-benchmark per registered partition strategy, full PartMiner
+// pipeline on the hub-heavy dataset (identical results, differing cost).
+func BenchmarkPartitionStrategies(b *testing.B) {
+	for _, name := range partition.Names() {
+		b.Run(name, bench.BenchPartitionStrategy(name))
+	}
+}
+
+func BenchmarkScheduleCostFirst(b *testing.B) { bench.BenchScheduleCostFirst(b) }
+
+func BenchmarkScheduleIndexOrder(b *testing.B) { bench.BenchScheduleIndexOrder(b) }
 
 func BenchmarkIncPartMiner(b *testing.B) {
 	db := benchDB(200)

@@ -29,6 +29,8 @@ func main() {
 	l := flag.Int("l", 200, "number of potentially frequent kernels (L)")
 	i := flag.Int("i", 5, "average kernel edges (I)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	hubs := flag.Int("hubs", 0, "hub-heavy mode: hub vertices per graph that welds/pendants preferentially attach to (0 = classic shape)")
+	hubExp := flag.Float64("hubexp", 2, "power-law exponent of hub popularity with -hubs (larger = more skew)")
 	out := flag.String("o", "", "output file (default stdout)")
 	update := flag.Float64("update", 0, "apply an update round to an existing database: fraction of graphs to update (0 disables)")
 	kinds := flag.String("kinds", "", "comma-separated update kinds: relabel,add-edge,add-vertex (default all)")
@@ -84,7 +86,7 @@ func main() {
 		return
 	}
 
-	cfg := datagen.Config{D: *d, T: *t, N: *n, L: *l, I: *i, Seed: *seed}
+	cfg := datagen.Config{D: *d, T: *t, N: *n, L: *l, I: *i, Seed: *seed, Hubs: *hubs, DegreeExponent: *hubExp}
 	fmt.Fprintf(os.Stderr, "generating %s (seed %d)\n", cfg.Name(), *seed)
 	if err := graph.WriteDatabase(w, datagen.Generate(cfg)); err != nil {
 		fatal(err)

@@ -49,7 +49,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort mining after this duration (0 = none); SIGINT/SIGTERM also cancel")
 	phases := flag.Bool("phases", false, "print the per-phase breakdown (stage timings and work counters) to stderr")
 	statsJSON := flag.String("statsjson", "", "write the per-phase breakdown as JSON to this file ('-' for stdout)")
-	criteria := flag.String("criteria", "partition3", "partitioning criteria: partition1, partition2, partition3, metis")
+	criteria := flag.String("criteria", "partition3", "partitioning strategy: "+strings.Join(partition.Names(), ", "))
 	miner := flag.String("miner", "partminer", "algorithm: partminer, gspan, gaston, freetree, fsg, adimine")
 	updatedPath := flag.String("updated", "", "updated database for incremental mining")
 	changed := flag.String("changed", "", "comma-separated ids of updated graphs (with -updated)")
@@ -153,18 +153,9 @@ func main() {
 	sup := absSupport(db, *minsup)
 	log.Info("database loaded", "graphs", len(db), "min_support", sup)
 
-	var bis partition.Bisector
-	switch *criteria {
-	case "partition1":
-		bis = partition.Partition1
-	case "partition2":
-		bis = partition.Partition2
-	case "partition3":
-		bis = partition.Partition3
-	case "metis":
-		bis = partition.Metis{}
-	default:
-		fatal(fmt.Errorf("unknown criteria %q", *criteria))
+	bis, err := partition.ByName(*criteria)
+	if err != nil {
+		fatal(err)
 	}
 
 	switch *miner {
@@ -216,7 +207,6 @@ func main() {
 	}
 	start := time.Now()
 	var res *core.Result
-	var err error
 	if *resumePath != "" {
 		f, ferr := os.Open(*resumePath)
 		if ferr != nil {

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,7 +44,7 @@ func main() {
 	maxEdges := flag.Int("maxedges", 0, "bound on pattern size (0 = unbounded)")
 	parallel := flag.Bool("parallel", false, "mine units in parallel")
 	workers := flag.Int("workers", 0, "worker-pool bound with -parallel (0 = GOMAXPROCS)")
-	criteria := flag.String("criteria", "partition3", "partitioning criteria: partition1, partition2, partition3, metis")
+	criteria := flag.String("criteria", "partition3", "partitioning strategy: "+strings.Join(partition.Names(), ", "))
 	batchWindow := flag.Duration("batch-window", 20*time.Millisecond, "how long the update loop lingers to coalesce concurrent updates")
 	featEdges := flag.Int("featedges", 0, "max feature size for the containment index (0 = default)")
 	snapshotPath := flag.String("snapshot", "", "persist every published snapshot to this file (atomic rename)")
@@ -56,18 +57,9 @@ func main() {
 	runID := fmt.Sprintf("serve-%d-%d", os.Getpid(), time.Now().Unix())
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("run_id", runID)
 
-	var bis partition.Bisector
-	switch *criteria {
-	case "partition1":
-		bis = partition.Partition1
-	case "partition2":
-		bis = partition.Partition2
-	case "partition3":
-		bis = partition.Partition3
-	case "metis":
-		bis = partition.Metis{}
-	default:
-		fatal(fmt.Errorf("unknown criteria %q", *criteria))
+	bis, err := partition.ByName(*criteria)
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"partminer/internal/dfscode"
@@ -70,10 +71,25 @@ type Options struct {
 	// worker pool shared by the whole run.
 	Parallel bool
 	// Workers bounds the run's worker pool when Parallel is set; 0 means
-	// runtime.GOMAXPROCS(0). Ignored in serial mode.
+	// runtime.GOMAXPROCS(0). In serial mode it does not change execution,
+	// but a non-zero value parameterizes Result.ParallelTime's
+	// bounded-worker model of the unit phase.
 	Workers int
 	// MaxEdges bounds pattern size; 0 means unbounded.
 	MaxEdges int
+	// UnitCosts, when non-empty, is the estimated mining cost per unit
+	// (e.g. the measured UnitTimes of a previous epoch, as PartServe
+	// maintains across folds). The scheduler starts units in descending
+	// estimated cost so the slowest unit never starts last; with fewer
+	// workers than units this bounds the parallel phase's wall clock.
+	// Entries beyond the unit count are ignored; missing entries fall
+	// back to the unit's edge count. Costs never affect results, only
+	// scheduling.
+	UnitCosts []time.Duration
+	// ScheduleIndexOrder disables skew-aware scheduling and submits units
+	// in index order (the pre-cost-profile behavior); for A/B
+	// measurement of the scheduler itself.
+	ScheduleIndexOrder bool
 	// StrictPaperJoin switches the merge-join to the paper's literal
 	// C1/C2/C3 candidate generation (see internal/mergejoin).
 	StrictPaperJoin bool
@@ -126,6 +142,44 @@ func (o Options) pool() *exec.Pool {
 	return exec.NewPool(workers)
 }
 
+// unitOrder computes the submission order for the unit-mining phase:
+// descending estimated cost, so with fewer workers than units the
+// heaviest unit is never the one that starts last. Measured costs from a
+// previous epoch (UnitCosts) win when present; units without one fall
+// back to their edge count (from the tree's quality measurement), the
+// best static proxy for mining cost. Index order is kept for equal-cost
+// units (stable sort) and returned unchanged when ScheduleIndexOrder is
+// set or no cost signal discriminates the units. A nil return means
+// "index order" to exec.MapOrderedCtx.
+func (o Options) unitOrder(tree *partition.Tree) []int {
+	if o.ScheduleIndexOrder {
+		return nil
+	}
+	n := len(tree.Units)
+	cost := make([]float64, n)
+	any := false
+	for i := 0; i < n; i++ {
+		switch {
+		case i < len(o.UnitCosts) && o.UnitCosts[i] > 0:
+			cost[i] = float64(o.UnitCosts[i])
+		case i < len(tree.Quality.UnitEdges):
+			cost[i] = float64(tree.Quality.UnitEdges[i])
+		}
+		if cost[i] != cost[0] {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+	return order
+}
+
 // Result carries the mined patterns plus the breakdown the paper's
 // evaluation reports: per-unit mining times (for aggregate vs parallel
 // runtime, §5.1.3) and the partition tree for reuse by IncPartMiner.
@@ -143,6 +197,15 @@ type Result struct {
 	// PartitionTime and MergeTime cover Phase 1 and the merge-join chain.
 	PartitionTime time.Duration
 	MergeTime     time.Duration
+	// UnitsWall is the measured wall-clock of the whole unit-mining phase.
+	// Recorded only in Parallel mode, where units overlap and the phase's
+	// real duration (which the scheduling order influences) is not
+	// derivable from the per-unit times; zero in serial runs.
+	UnitsWall time.Duration
+	// PartitionQuality is the quality of the Phase-1 partitioning
+	// (edge-cut ratio, replication factor, unit balance), copied from
+	// Tree.Quality so it survives persistence round-trips.
+	PartitionQuality partition.Quality
 	// MergeStats aggregates candidate/verification counters across every
 	// merge-join in the run.
 	MergeStats mergejoin.Stats
@@ -178,17 +241,71 @@ func (r *Result) AggregateTime() time.Duration {
 	return total
 }
 
-// ParallelTime is the parallel-mode runtime: partitioning plus the slowest
-// unit plus merging (units run concurrently).
+// ParallelTime is the parallel-mode runtime: partitioning plus the unit
+// phase plus merging. When the run actually mined units concurrently the
+// measured phase wall clock (UnitsWall) is used — it reflects worker
+// count and scheduling order; otherwise the paper's idealized model
+// stands in: slowest unit with unbounded workers (§5.1.3), or — when the
+// run was configured with an explicit worker bound — the list-scheduling
+// makespan of the measured unit times under that bound (see
+// modelUnitsWall). The bounded model is how a serial run (the only
+// faithful measurement on a single-core host) still exposes what the
+// scheduling order would cost on parallel hardware.
 func (r *Result) ParallelTime() time.Duration {
 	total := r.PartitionTime + r.MergeTime
-	var max time.Duration
-	for _, d := range r.UnitTimes {
-		if d > max {
-			max = d
+	if r.UnitsWall > 0 {
+		return total + r.UnitsWall
+	}
+	return total + r.modelUnitsWall()
+}
+
+// modelUnitsWall models the unit phase of a run that did not measure a
+// real concurrent phase. With no explicit worker bound it is the paper's
+// idealized model: the slowest unit, unbounded workers. With
+// Options.Workers >= 1 it generalizes that model to bounded workers: the
+// measured unit times are submitted in the order the parallel executor
+// would have used (Options.unitOrder — descending estimated cost, or
+// index order) and each goes to the earliest-free worker; the makespan
+// is the modeled phase wall clock. This is the quantity cost-first
+// scheduling improves — index order pays for a heavy unit that starts
+// last, largest-first never does.
+func (r *Result) modelUnitsWall() time.Duration {
+	w := r.Options.Workers
+	if w < 1 || w >= len(r.UnitTimes) || r.Tree == nil {
+		var max time.Duration
+		for _, d := range r.UnitTimes {
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	order := r.Options.unitOrder(r.Tree)
+	if order == nil {
+		order = make([]int, len(r.UnitTimes))
+		for i := range order {
+			order[i] = i
 		}
 	}
-	return total + max
+	workers := make([]time.Duration, w)
+	for _, u := range order {
+		min := 0
+		for j := 1; j < w; j++ {
+			if workers[j] < workers[min] {
+				min = j
+			}
+		}
+		if u < len(r.UnitTimes) {
+			workers[min] += r.UnitTimes[u]
+		}
+	}
+	var max time.Duration
+	for _, t := range workers {
+		if t > max {
+			max = t
+		}
+	}
+	return max
 }
 
 // PartMiner mines the complete set of frequent subgraphs of db (Fig. 11).
@@ -225,6 +342,8 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 	}
 	res.Tree = tree
 	res.PartitionTime = time.Since(start)
+	res.PartitionQuality = tree.Quality
+	exec.ReportQuality(o, tree.Quality)
 
 	// Phase 2a: mine the units at the paper's reduced support ⌈sup/k⌉,
 	// which guarantees that a pattern frequent in the database is frequent
@@ -257,7 +376,11 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 		unitErrs[i] = err
 	}
 	uctx, endStage := obs.Phase(ctx, o, "units")
-	err = pool.MapCtx(uctx, len(leaves), mineLeaf)
+	t0 := time.Now()
+	err = pool.MapOrderedCtx(uctx, len(leaves), opts.unitOrder(tree), mineLeaf)
+	if opts.Parallel {
+		res.UnitsWall = time.Since(t0)
+	}
 	endStage()
 	if err != nil {
 		return nil, err
@@ -277,7 +400,7 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 	// database's feature index is built once here and drives the root
 	// merge's candidate pruning; inner nodes cover sub-databases and
 	// build their own inside MergeContext.
-	t0 := time.Now()
+	t0 = time.Now()
 	res.Index, err = index.BuildContext(ctx, db, pool, o)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"partminer/internal/graph"
 	"partminer/internal/gspan"
@@ -82,8 +83,14 @@ func TestPartMinerParallelEqualsSerial(t *testing.T) {
 			t.Errorf("%s: serial TIDs %v, parallel TIDs %v", p.Code, p.TIDs, q.TIDs)
 		}
 	}
-	if par.ParallelTime() > par.AggregateTime() {
-		t.Error("parallel time should not exceed aggregate time")
+	// ParallelTime is now the measured units-phase wall clock, which on a
+	// database this tiny is dominated by goroutine scheduling overhead
+	// rather than mining, so allow generous slack over the serial model.
+	if par.UnitsWall == 0 {
+		t.Error("parallel run should record the units-phase wall clock")
+	}
+	if par.ParallelTime() > par.AggregateTime()+50*time.Millisecond {
+		t.Errorf("parallel time %v far exceeds aggregate time %v", par.ParallelTime(), par.AggregateTime())
 	}
 }
 

@@ -189,6 +189,7 @@ func LoadResult(r io.Reader, db graph.Database) (*Result, error) {
 		return nil, err
 	}
 	res.Tree = tree
+	res.PartitionQuality = tree.Quality
 	if len(res.UnitPatterns) != len(tree.Leaves()) {
 		return nil, fmt.Errorf("core: saved result has %d unit sets; partitioning yields %d units",
 			len(res.UnitPatterns), len(tree.Leaves()))
@@ -292,36 +293,18 @@ func sortedNodePaths(sets map[string]pattern.Set) []string {
 	return paths
 }
 
+// bisectorName resolves a bisector to its registered strategy name via
+// the partition registry; nil means the normalize() default.
 func bisectorName(b partition.Bisector) (string, error) {
-	switch b {
-	case nil:
+	if b == nil {
 		return "partition3", nil // the normalize() default
-	case partition.Partition1:
-		return "partition1", nil
-	case partition.Partition2:
-		return "partition2", nil
-	case partition.Partition3:
-		return "partition3", nil
 	}
-	if m, ok := b.(partition.Metis); ok {
-		if m != (partition.Metis{}) {
-			return "", fmt.Errorf("core: METIS bisector with custom parameters is not serializable")
-		}
-		return "metis", nil
+	if name, ok := partition.NameOf(b); ok {
+		return name, nil
 	}
-	return "", fmt.Errorf("core: bisector %T is not serializable; use a built-in criteria", b)
+	return "", fmt.Errorf("core: bisector %T is not a registered strategy and cannot be serialized; register it with partition.Register or use a built-in criteria", b)
 }
 
 func bisectorByName(name string) (partition.Bisector, error) {
-	switch name {
-	case "partition1":
-		return partition.Partition1, nil
-	case "partition2":
-		return partition.Partition2, nil
-	case "partition3":
-		return partition.Partition3, nil
-	case "metis":
-		return partition.Metis{}, nil
-	}
-	return nil, fmt.Errorf("unknown bisector %q", name)
+	return partition.ByName(name)
 }

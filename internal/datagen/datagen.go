@@ -16,6 +16,7 @@ package datagen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"partminer/internal/graph"
@@ -42,6 +43,19 @@ type Config struct {
 	// HotWeight is the update frequency assigned to hot vertices;
 	// default 5.
 	HotWeight float64
+	// Hubs, when > 0, switches each graph to hub-heavy generation: the
+	// graph starts from Hubs hub vertices, and every kernel weld and
+	// pendant attachment targets a hub drawn from a zipf-like power law
+	// instead of a uniform vertex. The resulting degree skew concentrates
+	// mining cost in a few units — the workload the vertex-cut strategy
+	// and the skew-aware scheduler exist for. 0 keeps the classic
+	// Kuramochi & Karypis shape.
+	Hubs int
+	// DegreeExponent is the power-law exponent of the hub popularity
+	// distribution (P(hub i) ∝ 1/(i+1)^DegreeExponent); default 2.
+	// Larger values concentrate attachments on fewer hubs. Ignored when
+	// Hubs is 0.
+	DegreeExponent float64
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +80,12 @@ func (c Config) withDefaults() Config {
 	if c.HotWeight <= 0 {
 		c.HotWeight = 5
 	}
+	if c.Hubs < 0 {
+		c.Hubs = 0
+	}
+	if c.DegreeExponent <= 0 {
+		c.DegreeExponent = 2
+	}
 	return c
 }
 
@@ -77,7 +97,13 @@ func (c Config) Name() string {
 	if c.D%1000 == 0 {
 		d = fmt.Sprintf("%dk", c.D/1000)
 	}
-	return fmt.Sprintf("D%sT%dN%dL%dI%d", d, c.T, c.N, c.L, c.I)
+	name := fmt.Sprintf("D%sT%dN%dL%dI%d", d, c.T, c.N, c.L, c.I)
+	if c.Hubs > 0 {
+		// The hub knobs change the generated data, so they must appear in
+		// the name: consumers (the bench dataset cache) key on it.
+		name += fmt.Sprintf("H%dE%g", c.Hubs, c.DegreeExponent)
+	}
+	return name
 }
 
 // Generate builds the database. Every graph is connected, has at least one
@@ -113,11 +139,15 @@ func Generate(c Config) graph.Database {
 			target = 1
 		}
 		g := graph.New(gid)
+		var hub func() int
+		if c.Hubs > 0 {
+			hub = seedHubs(rng, g, c)
+		}
 		for g.EdgeCount() < target {
-			if g.EdgeCount() == 0 || rng.Float64() < 0.7 {
-				plantKernel(rng, g, pick(), c)
+			if rng.Float64() < 0.7 || (g.EdgeCount() == 0 && c.Hubs == 0) {
+				plantKernel(rng, g, pick(), c, hub)
 			} else {
-				padRandom(rng, g, c)
+				padRandom(rng, g, c, hub)
 			}
 		}
 		markHot(rng, g, c)
@@ -146,10 +176,40 @@ func makeKernels(rng *rand.Rand, c Config) []*graph.Graph {
 	return kernels
 }
 
+// seedHubs starts a hub-heavy graph: Hubs vertices chained together (so
+// the graph is born connected) that every later weld and pendant prefers
+// to attach to. The returned chooser draws a hub index from the zipf-like
+// power law P(i) ∝ 1/(i+1)^DegreeExponent — hub 0 dominates, the tail
+// gets the scraps — which is what produces the heavy-degree skew.
+func seedHubs(rng *rand.Rand, g *graph.Graph, c Config) func() int {
+	for i := 0; i < c.Hubs; i++ {
+		v := g.AddVertex(rng.Intn(c.N))
+		if i > 0 {
+			g.MustAddEdge(v-1, v, rng.Intn(c.N))
+		}
+	}
+	cum := make([]float64, c.Hubs)
+	total := 0.0
+	for i := range cum {
+		total += math.Pow(float64(i+1), -c.DegreeExponent)
+		cum[i] = total
+	}
+	return func() int {
+		x := rng.Float64() * total
+		for i, w := range cum {
+			if x <= w {
+				return i
+			}
+		}
+		return c.Hubs - 1
+	}
+}
+
 // plantKernel copies the kernel into g as fresh vertices and, if g was
-// nonempty, welds it on with one random connecting edge so the graph stays
-// connected.
-func plantKernel(rng *rand.Rand, g *graph.Graph, kernel *graph.Graph, c Config) {
+// nonempty, welds it on with one connecting edge so the graph stays
+// connected — to a power-law hub in hub-heavy mode, to a uniformly random
+// existing vertex otherwise.
+func plantKernel(rng *rand.Rand, g *graph.Graph, kernel *graph.Graph, c Config, hub func() int) {
 	base := g.VertexCount()
 	for _, l := range kernel.Labels {
 		g.AddVertex(l)
@@ -162,7 +222,12 @@ func plantKernel(rng *rand.Rand, g *graph.Graph, kernel *graph.Graph, c Config) 
 		}
 	}
 	if base > 0 {
-		u := rng.Intn(base)
+		u := 0
+		if hub != nil {
+			u = hub()
+		} else {
+			u = rng.Intn(base)
+		}
 		v := base + rng.Intn(kernel.VertexCount())
 		if !g.HasEdge(u, v) {
 			g.MustAddEdge(u, v, rng.Intn(c.N))
@@ -171,12 +236,16 @@ func plantKernel(rng *rand.Rand, g *graph.Graph, kernel *graph.Graph, c Config) 
 }
 
 // padRandom adds either a random edge between existing vertices or a new
-// pendant vertex.
-func padRandom(rng *rand.Rand, g *graph.Graph, c Config) {
+// pendant vertex; in hub-heavy mode one endpoint is drawn from the hub
+// power law instead of uniformly.
+func padRandom(rng *rand.Rand, g *graph.Graph, c Config, hub func() int) {
 	n := g.VertexCount()
 	if n >= 2 && rng.Float64() < 0.5 {
 		for try := 0; try < 8; try++ {
 			u, v := rng.Intn(n), rng.Intn(n)
+			if hub != nil {
+				u = hub()
+			}
 			if u != v && !g.HasEdge(u, v) {
 				g.MustAddEdge(u, v, rng.Intn(c.N))
 				return
@@ -185,7 +254,11 @@ func padRandom(rng *rand.Rand, g *graph.Graph, c Config) {
 	}
 	u := 0
 	if n > 0 {
-		u = rng.Intn(n)
+		if hub != nil {
+			u = hub()
+		} else {
+			u = rng.Intn(n)
+		}
 	} else {
 		u = g.AddVertex(rng.Intn(c.N))
 	}

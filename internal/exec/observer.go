@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"partminer/internal/partquality"
 )
 
 // Observer receives execution events from the mining layers: stage
@@ -46,6 +48,22 @@ func Count(o Observer, name string, delta int64) {
 	o.Counter(name, delta)
 }
 
+// QualityObserver is the optional extension observers implement to
+// receive the run's partition quality (Phase 1 reports it once per mining
+// round). Collector implements it; Multi fans it out to every member
+// that does.
+type QualityObserver interface {
+	PartitionQuality(q partquality.Quality)
+}
+
+// ReportQuality delivers q to o when o implements QualityObserver;
+// nil-safe.
+func ReportQuality(o Observer, q partquality.Quality) {
+	if qo, ok := o.(QualityObserver); ok {
+		qo.PartitionQuality(q)
+	}
+}
+
 // Multi fans every event out to all non-nil observers.
 func Multi(obs ...Observer) Observer {
 	var live []Observer
@@ -80,6 +98,12 @@ func (m multiObserver) StageEnd(stage string, d time.Duration) {
 func (m multiObserver) Counter(name string, delta int64) {
 	for _, o := range m {
 		o.Counter(name, delta)
+	}
+}
+
+func (m multiObserver) PartitionQuality(q partquality.Quality) {
+	for _, o := range m {
+		ReportQuality(o, q)
 	}
 }
 
@@ -129,6 +153,9 @@ type StageStat struct {
 type Metrics struct {
 	Stages   []StageStat      `json:"stages,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Partition is the partition quality of the most recent mining round
+	// (nil when no partitioning ran under this collector).
+	Partition *partquality.Quality `json:"partition,omitempty"`
 }
 
 // String renders the metrics as the fixed-width per-phase table the
@@ -158,6 +185,14 @@ func (m Metrics) String() string {
 			fmt.Fprintf(&b, "counter %s = %d\n", name, m.Counters[name])
 		}
 	}
+	if q := m.Partition; q != nil {
+		name := q.Strategy
+		if name == "" {
+			name = "custom"
+		}
+		fmt.Fprintf(&b, "partition %s k=%d edge_cut=%.3f replication=%.3f balance=%.3f\n",
+			name, q.K, q.EdgeCutRatio, q.ReplicationFactor, q.Balance)
+	}
 	return b.String()
 }
 
@@ -170,6 +205,7 @@ type Collector struct {
 	stages   map[string]*StageStat
 	order    []string // stage names in first-start order
 	counters map[string]int64
+	quality  *partquality.Quality
 }
 
 // StageStart records the first-seen order of stage names. Like every
@@ -229,6 +265,29 @@ func (c *Collector) Counter(name string, delta int64) {
 	c.counters[name] += delta
 }
 
+// PartitionQuality records the latest mining round's partition quality
+// (implements QualityObserver). Later rounds overwrite earlier ones: the
+// quality of the current partitioning is what operators act on.
+func (c *Collector) PartitionQuality(q partquality.Quality) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quality = &q
+}
+
+// Quality returns a copy of the recorded partition quality, or nil.
+func (c *Collector) Quality() *partquality.Quality {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.quality == nil {
+		return nil
+	}
+	q := *c.quality
+	return &q
+}
+
 // Stages returns the aggregated stage stats in first-start order.
 func (c *Collector) Stages() []StageStat {
 	c.mu.Lock()
@@ -265,7 +324,7 @@ func (c *Collector) Counters() map[string]int64 {
 // struct. The result is a copy — it never aliases the collector's
 // internal maps, so it is safe to hold across further reporting.
 func (c *Collector) Metrics() Metrics {
-	return Metrics{Stages: c.Stages(), Counters: c.Counters()}
+	return Metrics{Stages: c.Stages(), Counters: c.Counters(), Partition: c.Quality()}
 }
 
 // String renders the per-phase breakdown as a fixed-width table followed

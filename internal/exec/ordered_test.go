@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestMapOrderedCtxSerialFollowsOrder(t *testing.T) {
+	order := []int{3, 0, 2, 1}
+	var got []int
+	err := Serial().MapOrderedCtx(context.Background(), 4, order, func(_ context.Context, i int) {
+		got = append(got, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range order {
+		if got[j] != want {
+			t.Fatalf("serial execution order %v; want %v", got, order)
+		}
+	}
+}
+
+func TestMapOrderedCtxRunsEveryItemOnce(t *testing.T) {
+	order := []int{4, 2, 0, 3, 1}
+	var mu sync.Mutex
+	counts := make([]int, 5)
+	err := NewPool(3).MapOrderedCtx(context.Background(), 5, order, func(_ context.Context, i int) {
+		mu.Lock()
+		counts[i]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapOrderedCtxNilOrderIsIndexOrder(t *testing.T) {
+	var got []int
+	err := Serial().MapOrderedCtx(context.Background(), 3, nil, func(_ context.Context, i int) {
+		got = append(got, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if got[j] != j {
+			t.Fatalf("nil order ran %v; want index order", got)
+		}
+	}
+}
+
+func TestMapOrderedCtxLengthMismatch(t *testing.T) {
+	err := Serial().MapOrderedCtx(context.Background(), 3, []int{0, 1}, func(_ context.Context, i int) {})
+	if err == nil {
+		t.Fatal("expected an error for a wrong-length order")
+	}
+}

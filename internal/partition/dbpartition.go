@@ -32,6 +32,9 @@ type Tree struct {
 	Root  *Node
 	K     int
 	Units []graph.Database // the leaf databases, left to right
+	// Quality reports the tree's partition quality (edge-cut ratio,
+	// replication factor, unit balance), measured once by DBPartition.
+	Quality Quality
 }
 
 // DBPartition divides db into k units by repeated bi-partitioning with the
@@ -72,6 +75,7 @@ func DBPartition(db graph.Database, k int, b Bisector) (*Tree, error) {
 		leaf.UnitIndex = i
 		t.Units = append(t.Units, leaf.DB)
 	}
+	t.Quality = measureQuality(t, b)
 	return t, nil
 }
 

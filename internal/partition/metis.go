@@ -70,9 +70,12 @@ func (w *wgraph) coarsen() (*wgraph, []int) {
 		if match[v] != -1 {
 			continue
 		}
+		// Tie-break equal weights toward the smallest index: neighbor
+		// visiting order is map-range order, and without the tie-break the
+		// matching — and every partition built on it — varies run to run.
 		best, bestW := -1, -1
 		for u, ew := range w.adj[v] {
-			if match[u] == -1 && u != v && ew > bestW {
+			if match[u] == -1 && u != v && (ew > bestW || (ew == bestW && u < best)) {
 				best, bestW = u, ew
 			}
 		}

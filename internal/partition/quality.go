@@ -1,0 +1,62 @@
+package partition
+
+import "partminer/internal/partquality"
+
+// Quality is the partition-quality report; see partquality.Quality for
+// the field semantics. It lives in a leaf package (and is aliased here,
+// where it is produced) so the exec instrumentation layer can transport
+// it without importing this package.
+type Quality = partquality.Quality
+
+// measureQuality walks a finished tree. Split keeps each connective edge
+// (with both endpoints) in both parts, so per split and per graph the
+// duplication is directly countable: cut = E(left)+E(right)-E(parent) and
+// replicas = V(left)+V(right)-V(parent).
+func measureQuality(t *Tree, b Bisector) Quality {
+	q := Quality{K: t.K}
+	if name, ok := NameOf(b); ok {
+		q.Strategy = name
+	}
+	for _, g := range t.Root.DB {
+		q.TotalEdges += g.EdgeCount()
+		q.TotalVertices += g.VertexCount()
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		for i, g := range n.DB {
+			q.CutEdges += n.Left.DB[i].EdgeCount() + n.Right.DB[i].EdgeCount() - g.EdgeCount()
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+
+	unitVertices := 0
+	maxEdges, sumEdges := 0, 0
+	for _, unit := range t.Units {
+		edges := 0
+		for _, g := range unit {
+			edges += g.EdgeCount()
+			unitVertices += g.VertexCount()
+		}
+		q.UnitEdges = append(q.UnitEdges, edges)
+		sumEdges += edges
+		if edges > maxEdges {
+			maxEdges = edges
+		}
+	}
+	if q.TotalEdges > 0 {
+		q.EdgeCutRatio = float64(q.CutEdges) / float64(q.TotalEdges)
+	}
+	if q.TotalVertices > 0 {
+		q.ReplicationFactor = float64(unitVertices) / float64(q.TotalVertices)
+	}
+	if sumEdges > 0 && len(t.Units) > 0 {
+		mean := float64(sumEdges) / float64(len(t.Units))
+		q.Balance = float64(maxEdges) / mean
+	}
+	return q
+}

@@ -15,6 +15,10 @@ package server
 //	partserve_updates_total                   update ops applied
 //	partserve_epoch                           current snapshot epoch
 //	partserve_uptime_seconds                  process uptime
+//	partserve_partition_edge_cut_ratio        served partitioning's edge-cut ratio
+//	partserve_partition_replication_factor    served partitioning's vertex replication
+//	partserve_partition_unit_balance          max/mean unit edge count
+//	partserve_partition_units                 number of partition units (K)
 //	partserve_<counter>_total                 every observer-seam counter
 //	                                          (merge.*, index.*, gaston.*),
 //	                                          dots mapped to underscores

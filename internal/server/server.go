@@ -16,6 +16,7 @@ import (
 	"partminer/internal/graph"
 	"partminer/internal/index"
 	"partminer/internal/obs"
+	"partminer/internal/partition"
 	"partminer/internal/query"
 )
 
@@ -161,8 +162,14 @@ type Server struct {
 
 	closeOnce sync.Once
 
-	mu sync.Mutex // guards the batch statistics below
+	mu sync.Mutex // guards the batch statistics and cost profile below
 	bs batchStats
+	// unitCosts is the per-unit cost profile: an EWMA of the measured unit
+	// mining times across epochs. Each mining round feeds it forward as
+	// core.Options.UnitCosts so the scheduler starts the historically
+	// expensive units first (skew-aware scheduling); each round's measured
+	// UnitTimes fold back in. Reset when the partition shape changes.
+	unitCosts []time.Duration
 }
 
 type batchStats struct {
@@ -256,7 +263,51 @@ func newServer(cfg Config) *Server {
 		defer s.mu.Unlock()
 		return s.bs.opsApplied
 	})
+	// Partition-quality gauges read the served snapshot at scrape time, so
+	// /metrics always describes the partitioning actually answering queries.
+	obs.PartitionQualityGauges(s.metrics.registry, "partserve_", func() *partition.Quality {
+		if snap := s.snap.Load(); snap != nil {
+			return &snap.Res.PartitionQuality
+		}
+		return nil
+	})
 	return s
+}
+
+// recordUnitCosts folds one mining round's measured unit times into the
+// cost profile. Zero entries (units an incremental round skipped) keep
+// their previous estimate; measured entries blend in with an EWMA
+// (weight ½) so the profile tracks drift without thrashing on one noisy
+// epoch. A length change means the partition shape changed — the old
+// profile no longer maps to units, so it is replaced wholesale.
+func (s *Server) recordUnitCosts(times []time.Duration) {
+	if len(times) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.unitCosts) != len(times) {
+		s.unitCosts = append([]time.Duration(nil), times...)
+		return
+	}
+	for i, d := range times {
+		switch {
+		case d <= 0:
+			// Unit not re-mined this round; keep the old estimate.
+		case s.unitCosts[i] <= 0:
+			s.unitCosts[i] = d
+		default:
+			s.unitCosts[i] = (s.unitCosts[i] + d) / 2
+		}
+	}
+}
+
+// unitCostProfile returns a copy of the current cost profile (nil before
+// the first mining round).
+func (s *Server) unitCostProfile() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.unitCosts...)
 }
 
 // mergedObserver fans a caller-supplied observer out to the server's
@@ -267,6 +318,7 @@ func (s *Server) mergedObserver(own exec.Observer) exec.Observer {
 }
 
 func (s *Server) launch(db graph.Database, res *core.Result) *Server {
+	s.recordUnitCosts(res.UnitTimes)
 	snap := s.makeSnapshot(1, db, res)
 	if s.cfg.OnSwap != nil {
 		s.cfg.OnSwap(snap)
@@ -489,6 +541,9 @@ func (s *Server) fold(batch []*applyReq) {
 // apply). The published snapshot's index is never mutated — that is the
 // clone's whole purpose.
 func (s *Server) mine(ctx context.Context, cur *Snapshot, db graph.Database, updated map[int]bool, appended bool) (*core.Result, bool, []int, error) {
+	// Feed the cross-epoch cost profile into this round's scheduler so the
+	// historically expensive units start first.
+	costs := s.unitCostProfile()
 	if !appended {
 		updatedTIDs := make([]int, 0, len(updated))
 		for tid := range updated {
@@ -496,18 +551,23 @@ func (s *Server) mine(ctx context.Context, cur *Snapshot, db graph.Database, upd
 		}
 		prev := *cur.Res // shallow copy; IncMineContext mutates only prev.Index
 		prev.Index = cur.Index.Clone()
+		prev.Options.UnitCosts = costs
 		inc, err := core.IncMineContext(ctx, db, updatedTIDs, &prev)
 		if err == nil {
+			s.recordUnitCosts(inc.UnitTimes)
 			return &inc.Result, false, inc.ReminedUnits, nil
 		}
 		// The incremental path can legitimately refuse (e.g. the update
 		// pattern changed the partition shape); fall through to a full
 		// run rather than failing the batch.
 	}
-	res, err := core.MineContext(ctx, db, s.opts)
+	opts := s.opts
+	opts.UnitCosts = costs
+	res, err := core.MineContext(ctx, db, opts)
 	if err != nil {
 		return nil, true, nil, err
 	}
+	s.recordUnitCosts(res.UnitTimes)
 	return res, true, nil, nil
 }
 
@@ -687,6 +747,14 @@ type Stats struct {
 	TotalLatencyNS int64 `json:"total_batch_latency_ns"`
 	MaxLatencyNS   int64 `json:"max_batch_latency_ns"`
 
+	// Partition is the quality of the served snapshot's partitioning
+	// (strategy name, edge-cut ratio, replication factor, unit balance).
+	Partition *partition.Quality `json:"partition_quality,omitempty"`
+	// UnitCostsNS is the per-unit cost profile (EWMA of measured unit
+	// mining times across epochs, nanoseconds) the skew-aware scheduler
+	// orders units by.
+	UnitCostsNS []int64 `json:"unit_costs_ns,omitempty"`
+
 	// Merge holds the cumulative merge-join counters across every mining
 	// round, including the pruning counters (merge.triple_pruned,
 	// merge.sig_pruned) the feature index contributes.
@@ -719,6 +787,8 @@ func (s *Server) Stats() Stats {
 		Exec:          s.collector.Metrics(),
 		FoldLatency:   s.metrics.foldLatency.Quantiles(),
 	}
+	q := snap.Res.PartitionQuality
+	st.Partition = &q
 	if eps := s.metrics.httpLatency.Children(); len(eps) > 0 {
 		st.HTTPLatency = make(map[string]obs.Quantiles, len(eps))
 		for _, ep := range eps {
@@ -738,6 +808,12 @@ func (s *Server) Stats() Stats {
 	st.Merge = make(map[string]int64, len(s.bs.merge))
 	for k, v := range s.bs.merge {
 		st.Merge[k] = v
+	}
+	if len(s.unitCosts) > 0 {
+		st.UnitCostsNS = make([]int64, len(s.unitCosts))
+		for i, d := range s.unitCosts {
+			st.UnitCostsNS[i] = d.Nanoseconds()
+		}
 	}
 	s.mu.Unlock()
 	return st
