@@ -125,6 +125,14 @@ func BenchmarkPartMinerK2(b *testing.B) { bench.BenchPartMinerK2(b) }
 
 func BenchmarkIndexedSupport(b *testing.B) { bench.BenchIndexedSupport(b) }
 
+func BenchmarkPlannedContains(b *testing.B) { bench.BenchPlannedContains(b) }
+
+func BenchmarkGenericContains(b *testing.B) { bench.BenchGenericContains(b) }
+
+func BenchmarkPlannedFind(b *testing.B) { bench.BenchPlannedFind(b) }
+
+func BenchmarkBatchedContains(b *testing.B) { bench.BenchBatchedContains(b) }
+
 func BenchmarkServeUpdateBatch(b *testing.B) { bench.BenchServeUpdateBatch(b) }
 
 func BenchmarkTraceOverhead(b *testing.B) { bench.BenchTraceOverhead(b) }

@@ -37,6 +37,7 @@ import (
 	"partminer/internal/gspan"
 	"partminer/internal/obs"
 	"partminer/internal/partition"
+	"partminer/internal/query"
 	"partminer/internal/pattern"
 )
 
@@ -243,6 +244,26 @@ func main() {
 	if *updatedPath == "" {
 		report(condenseSet(res.Patterns, *condense), elapsed, *showAll)
 		log.Info("phase times", "partition", res.PartitionTime, "units", fmt.Sprint(res.UnitTimes), "merge", res.MergeTime)
+		if collector != nil && res.Index != nil {
+			// With stats requested, compile the mined patterns into query
+			// plans and exercise the planned read path on a bounded sample,
+			// so -phases/-statsjson carry the plan metrics (plan.compiled,
+			// plan.hit, plan.find) the server reports for the same set.
+			done := exec.StageTimer(collector, "plan.compile")
+			qix := query.IndexFromPatterns(db, res.Index, res.Patterns, query.IndexOptions{MinSupport: sup, Observer: collector})
+			done()
+			probes := 0
+			for _, by := range res.Patterns.BySize() {
+				for _, p := range by {
+					if probes >= 16 {
+						break
+					}
+					qix.Find(p.Code.Graph())
+					probes++
+				}
+			}
+			log.Info("query plans", "compiled", qix.PlanCount(), "probed", probes)
+		}
 		return
 	}
 

@@ -47,6 +47,8 @@ func main() {
 	criteria := flag.String("criteria", "partition3", "partitioning strategy: "+strings.Join(partition.Names(), ", "))
 	batchWindow := flag.Duration("batch-window", 20*time.Millisecond, "how long the update loop lingers to coalesce concurrent updates")
 	featEdges := flag.Int("featedges", 0, "max feature size for the containment index (0 = default)")
+	queryCache := flag.Int("query-cache", 0, "per-epoch ad-hoc query result cache size in entries (0 = 1024 default, negative disables)")
+	planEdges := flag.Int("plan-edges", 0, "max pattern size compiled into matching plans (0 = 8 default, negative disables plans and the cache)")
 	snapshotPath := flag.String("snapshot", "", "persist every published snapshot to this file (atomic rename)")
 	restore := flag.Bool("restore", false, "warm-start from the -snapshot file instead of mining the database argument")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (off when empty)")
@@ -67,7 +69,7 @@ func main() {
 
 	cfg := server.Config{
 		Mine:          core.Options{K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Workers: *workers, Bisector: bis},
-		Search:        query.IndexOptions{MaxFeatureEdges: *featEdges},
+		Search:        query.IndexOptions{MaxFeatureEdges: *featEdges, CacheSize: *queryCache, PlanMaxEdges: *planEdges},
 		BatchWindow:   *batchWindow,
 		Logger:        log,
 		SlowThreshold: *slowThreshold,

@@ -27,6 +27,8 @@ import (
 	"partminer/internal/isomorph"
 	"partminer/internal/obs"
 	"partminer/internal/partition"
+	"partminer/internal/plan"
+	"partminer/internal/query"
 	"partminer/internal/server"
 )
 
@@ -137,6 +139,126 @@ func BenchIndexedSupport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if ix.Support(pats[i%len(pats)]) < 1 {
 			b.Fatal("frequent pattern reported unsupported")
+		}
+	}
+}
+
+// microQuerySetup lazily builds the shared read-path fixtures: MicroDB's
+// mined pattern set, a plan-enabled and a plan-disabled containment
+// index over it, compiled plans, and the query pools. Cached — the
+// planned/generic containment families must measure query evaluation,
+// not index construction, and must run against identical structures.
+func microQuerySetup() {
+	microQueryOnce.Do(func() {
+		db, sup, ix := MicroDB(), MicroSupport(), MicroIndex()
+		set := gspan.Mine(db, gspan.Options{MinSupport: sup, Index: ix})
+		microPlanIx = query.IndexFromPatterns(db, ix, set, query.IndexOptions{MinSupport: sup})
+		microGenericIx = query.IndexFromPatterns(db, ix, set, query.IndexOptions{MinSupport: sup, PlanMaxEdges: -1, CacheSize: -1})
+		for _, key := range set.Keys() {
+			p := set[key]
+			if p.Size() >= 2 {
+				microQueries = append(microQueries, p.Code.Graph())
+				microPlans = append(microPlans, plan.CompilePattern(p, ix))
+			}
+			if len(microQueries) == 32 {
+				break
+			}
+		}
+		// The batched pool mixes plan-hit queries with ad-hoc near-miss
+		// mutations (a pendant edge grown on a mined pattern), the mix a
+		// batch from real traffic carries.
+		microBatch = append(microBatch, microQueries[:12]...)
+		for i := 0; i < 4; i++ {
+			q := microQueries[i].Clone()
+			v := q.AddVertex(i % 3)
+			q.MustAddEdge(0, v, i%2)
+			microBatch = append(microBatch, q)
+		}
+	})
+}
+
+var (
+	microQueryOnce sync.Once
+	microPlanIx    *query.Index
+	microGenericIx *query.Index
+	microQueries   []*graph.Graph
+	microPlans     []*plan.Plan
+	microBatch     []*graph.Graph
+)
+
+// BenchPlannedContains measures the planned containment hot path — what
+// /v1/contains runs after PR 7 for a query matching a mined pattern:
+// canonicalize, look the compiled plan up, answer from its exact TID
+// set. Compare with BenchGenericContains (the pre-plan path on identical
+// queries) for the headline speedup.
+func BenchPlannedContains(b *testing.B) {
+	microQuerySetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := microQueries[i%len(microQueries)]
+		tids, st := microPlanIx.Find(q)
+		if !st.PlanHit {
+			b.Fatal("mined-pattern query missed the plan table")
+		}
+		if len(tids) == 0 {
+			b.Fatal("frequent pattern reported unsupported")
+		}
+	}
+}
+
+// BenchGenericContains measures the generic filter-verify containment
+// path (plans and cache disabled) on the same queries — the pre-PR-7
+// read hot path and BenchPlannedContains's baseline.
+func BenchGenericContains(b *testing.B) {
+	microQuerySetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := microQueries[i%len(microQueries)]
+		tids, st := microGenericIx.Find(q)
+		if st.PlanHit || st.CacheHit {
+			b.Fatal("generic index served a plan/cache hit")
+		}
+		if len(tids) == 0 {
+			b.Fatal("frequent pattern reported unsupported")
+		}
+	}
+}
+
+// BenchPlannedFind measures the compiled-plan execution machinery
+// itself: one full SupportTIDs evaluation — bitset narrowing, signature
+// domination, then the planned match (static order + symmetry breaking +
+// posted candidates) per surviving transaction. This is the work a plan
+// does when its TID set is not known in advance (ad-hoc compilation),
+// lower-bounding plan-based matching against the generic VF2 numbers.
+func BenchPlannedFind(b *testing.B) {
+	microQuerySetup()
+	ix := MicroIndex()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := microPlans[i%len(microPlans)]
+		if pl.SupportTIDs(ix).Count() == 0 {
+			b.Fatal("frequent pattern reported unsupported")
+		}
+	}
+}
+
+// BenchBatchedContains measures one 16-query ContainsBatch against a
+// snapshot: a dozen plan hits plus four ad-hoc near-misses that settle
+// into the epoch's result cache after the first iteration — the
+// amortized per-batch cost a /v1/contains batch client observes (minus
+// HTTP).
+func BenchBatchedContains(b *testing.B) {
+	microQuerySetup()
+	snap := &server.Snapshot{DB: MicroDB(), Search: microPlanIx}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tids, _ := snap.ContainsBatch(microBatch)
+		if len(tids) != len(microBatch) {
+			b.Fatal("batch answer count mismatch")
 		}
 	}
 }
@@ -351,6 +473,10 @@ func Micros() []Micro {
 		{"BenchmarkMinDFSCode", BenchMinDFSCode},
 		{"BenchmarkPartMinerK2", BenchPartMinerK2},
 		{"BenchmarkIndexedSupport", BenchIndexedSupport},
+		{"BenchmarkPlannedContains", BenchPlannedContains},
+		{"BenchmarkGenericContains", BenchGenericContains},
+		{"BenchmarkPlannedFind", BenchPlannedFind},
+		{"BenchmarkBatchedContains", BenchBatchedContains},
 		{"BenchmarkServeUpdateBatch", BenchServeUpdateBatch},
 		{"BenchmarkTraceOverhead", BenchTraceOverhead},
 	}

@@ -384,6 +384,16 @@ func (ix *FeatureIndex) TripleTIDs(la, le, lb int) *pattern.TIDSet {
 	return ix.tripleTIDs[MakeTriple(la, le, lb)]
 }
 
+// TripleFreq returns the number of transactions containing the edge
+// triple (la, le, lb) — the selectivity statistic plan compilation ranks
+// exploration roots by. Zero when the triple occurs nowhere.
+func (ix *FeatureIndex) TripleFreq(la, le, lb int) int {
+	if ts := ix.tripleTIDs[MakeTriple(la, le, lb)]; ts != nil {
+		return ts.Count()
+	}
+	return 0
+}
+
 // LabelTIDs returns the TID bitset of a vertex label (shared; do not
 // mutate), or nil if the label occurs nowhere.
 func (ix *FeatureIndex) LabelTIDs(label int) *pattern.TIDSet {

@@ -1,0 +1,72 @@
+package query
+
+import "sync"
+
+// resultCache is the bounded ad-hoc query result cache of one Index,
+// keyed by the query's canonical DFS-code key. An Index lives inside one
+// server snapshot, so the cache is epoch-keyed by construction: a
+// snapshot swap installs a fresh Index (and with it a fresh, empty
+// cache), and readers holding the old snapshot keep hitting the old
+// cache — a cached result can never leak across epochs.
+//
+// Entries are immutable once stored; get returns the shared slice and
+// callers copy before handing it out. On overflow a bounded random
+// fraction (1/4, map iteration order) is evicted, like the miners'
+// subKeyCache — cheaper than LRU bookkeeping on a read hot path and good
+// enough for a cache whose lifetime is one epoch.
+type resultCache struct {
+	mu           sync.Mutex
+	max          int
+	m            map[string][]int
+	hits, misses int64
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{max: max, m: make(map[string][]int, 16)}
+}
+
+// get returns the cached TID list for key. The second result
+// distinguishes a cached empty answer from a miss.
+func (c *resultCache) get(key string) ([]int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tids, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return tids, ok
+}
+
+// put stores a private copy of tids under key, evicting a quarter of the
+// cache first when full.
+func (c *resultCache) put(key string, tids []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; !ok && len(c.m) >= c.max {
+		drop := c.max / 4
+		if drop < 1 {
+			drop = 1
+		}
+		for k := range c.m {
+			delete(c.m, k)
+			if drop--; drop <= 0 {
+				break
+			}
+		}
+	}
+	cp := make([]int, len(tids))
+	copy(cp, tids)
+	c.m[key] = cp
+}
+
+// stats returns the lifetime hit/miss counts and current entry count.
+func (c *resultCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}

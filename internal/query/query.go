@@ -12,6 +12,16 @@
 // set, and candidates are verified with exact subgraph isomorphism. An
 // exhaustive 1-edge TID table keeps pruning effective even for queries
 // whose structure is globally infrequent.
+//
+// On top of filter-verify, the index compiles every mined pattern into a
+// pattern-aware matching plan (internal/plan) keyed by its canonical
+// DFS code. A query that canonicalizes to a compiled pattern is answered
+// directly from the plan's exact mined TID set — zero matching work; an
+// ad-hoc query falls back to the generic filter-verify path and its
+// result enters a bounded per-Index cache under the same canonical key.
+// The Index lives inside one server snapshot, so both plans and cache
+// are epoch-consistent by construction and invalidated wholesale on
+// snapshot swap.
 package query
 
 import (
@@ -19,12 +29,14 @@ import (
 	"fmt"
 	"time"
 
+	"partminer/internal/dfscode"
 	"partminer/internal/exec"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
 	"partminer/internal/index"
 	"partminer/internal/isomorph"
 	"partminer/internal/pattern"
+	"partminer/internal/plan"
 )
 
 // IndexOptions configures BuildIndex.
@@ -35,9 +47,22 @@ type IndexOptions struct {
 	// MaxFeatureEdges bounds feature size (default 4). Larger features
 	// prune more but cost more per query.
 	MaxFeatureEdges int
+	// PlanMaxEdges bounds the mined patterns compiled into matching
+	// plans and the queries canonicalized for plan/cache lookup
+	// (canonicalization is factorial in the pattern's automorphisms, so
+	// lookup keys are only computed for small queries). Default 8;
+	// negative disables plan compilation and lookup entirely — and with
+	// it the result cache, whose keys are the same canonical codes.
+	PlanMaxEdges int
+	// CacheSize bounds the per-Index ad-hoc result cache (canonical
+	// DFS-code key → TID list; entries count, not bytes). Default 1024;
+	// negative disables caching.
+	CacheSize int
 	// Observer, when non-nil, receives a "vf2.match" stage end for every
-	// exact isomorphism verification Find runs, so servers can histogram
-	// match latency. Nil (the default) adds no per-match work.
+	// exact isomorphism verification Find runs and a "plan.find" stage
+	// end for every plan-served query, plus the plan.compiled / plan.hit
+	// / plan.fallback / query.cache_hit / query.cache_miss counters. Nil
+	// (the default) adds no per-match work.
 	Observer exec.Observer
 }
 
@@ -50,6 +75,12 @@ func (o IndexOptions) normalize(dbLen int) IndexOptions {
 	}
 	if o.MaxFeatureEdges <= 0 {
 		o.MaxFeatureEdges = 4
+	}
+	if o.PlanMaxEdges == 0 {
+		o.PlanMaxEdges = 8
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
 	}
 	return o
 }
@@ -64,6 +95,13 @@ type Index struct {
 	// candidate filter and the verification matcher.
 	fx   *index.FeatureIndex
 	opts IndexOptions
+	// plans maps each mined pattern's canonical DFS-code key to its
+	// compiled matching plan; a plan hit answers Find from the mined TID
+	// set without any matching work. Immutable after construction.
+	plans map[string]*plan.Plan
+	// cache holds ad-hoc (non-plan) query results for the lifetime of
+	// this Index — one snapshot epoch on the server. Nil when disabled.
+	cache *resultCache
 }
 
 // Stats describes one query evaluation.
@@ -77,6 +115,11 @@ type Stats struct {
 	// SigPruned counts candidates dismissed by signature domination
 	// before any isomorphism test.
 	SigPruned int
+	// PlanHit reports that the query canonicalized to a compiled pattern
+	// plan and was answered from its mined TID set; CacheHit that it was
+	// answered from the ad-hoc result cache. Both false means the
+	// generic filter-verify path ran.
+	PlanHit, CacheHit bool
 }
 
 // BuildIndex mines db for frequent subgraphs and builds the index.
@@ -108,6 +151,7 @@ func BuildIndexContext(ctx context.Context, db graph.Database, opts IndexOptions
 			}
 		}
 	}
+	ix.compilePlans(set)
 	return ix, nil
 }
 
@@ -119,8 +163,10 @@ func BuildIndexContext(ctx context.Context, db graph.Database, opts IndexOptions
 //
 // This is the server path: PartMiner's Result carries both the pattern
 // set and the feature index, so a query index over a fresh snapshot costs
-// a sort of the pattern set, not a mining run. Patterns without TIDs and
-// patterns larger than MaxFeatureEdges are skipped (they cannot filter).
+// a sort of the pattern set plus one plan compilation per pattern, not a
+// mining run. Patterns without TIDs and patterns larger than
+// MaxFeatureEdges are skipped as features (they cannot filter); every
+// pattern up to PlanMaxEdges is additionally compiled into a plan.
 func IndexFromPatterns(db graph.Database, fx *index.FeatureIndex, set pattern.Set, opts IndexOptions) *Index {
 	opts = opts.normalize(len(db))
 	ix := &Index{db: db, opts: opts, fx: fx}
@@ -132,16 +178,77 @@ func IndexFromPatterns(db graph.Database, fx *index.FeatureIndex, set pattern.Se
 			ix.features = append(ix.features, p)
 		}
 	}
+	ix.compilePlans(set)
 	return ix
+}
+
+// compilePlans compiles every mined pattern up to PlanMaxEdges into a
+// matching plan keyed by its canonical DFS code and arms the ad-hoc
+// result cache. Called once at Index construction — per epoch on the
+// server — and reported as the plan.compiled counter.
+func (ix *Index) compilePlans(set pattern.Set) {
+	if ix.opts.PlanMaxEdges < 0 {
+		return
+	}
+	ix.plans = make(map[string]*plan.Plan, len(set))
+	for _, p := range set {
+		if p.Size() < 1 || p.Size() > ix.opts.PlanMaxEdges || p.TIDs == nil {
+			continue
+		}
+		ix.plans[p.Code.Key()] = plan.CompilePattern(p, ix.fx)
+	}
+	exec.Count(ix.opts.Observer, "plan.compiled", int64(len(ix.plans)))
+	ix.cache = newResultCache(ix.opts.CacheSize)
 }
 
 // FeatureCount returns the number of multi-edge index features.
 func (ix *Index) FeatureCount() int { return len(ix.features) }
 
+// PlanCount returns the number of compiled pattern plans.
+func (ix *Index) PlanCount() int { return len(ix.plans) }
+
+// Plan returns the compiled plan for a canonical DFS-code key, or nil.
+func (ix *Index) Plan(key string) *plan.Plan { return ix.plans[key] }
+
+// CacheStats returns the ad-hoc result cache's lifetime hit/miss counts
+// and current entry count (zeros when the cache is disabled).
+func (ix *Index) CacheStats() (hits, misses int64, size int) {
+	if ix.cache == nil {
+		return 0, 0, 0
+	}
+	return ix.cache.stats()
+}
+
+// planKey returns q's canonical DFS-code key when q is eligible for
+// plan/cache lookup: connected, at least one edge, and small enough that
+// canonicalization stays cheap. "" otherwise.
+func (ix *Index) planKey(q *graph.Graph) string {
+	if ix.plans == nil && ix.cache == nil {
+		return ""
+	}
+	if q.EdgeCount() < 1 || q.EdgeCount() > ix.opts.PlanMaxEdges || !q.Connected() {
+		return ""
+	}
+	return dfscode.MinCode(q).Key()
+}
+
 // Candidates returns the TIDs that may contain q, by intersecting the TID
 // lists of q's edges and of every index feature contained in q. The
-// returned statistics describe the filtering work.
+// returned statistics describe the filtering work. A query matching a
+// compiled pattern plan short-circuits to the plan's exact TID set.
 func (ix *Index) Candidates(q *graph.Graph) (*pattern.TIDSet, Stats) {
+	if key := ix.planKey(q); key != "" {
+		if pl := ix.plans[key]; pl != nil {
+			var st Stats
+			st.PlanHit = true
+			st.Candidates = pl.TIDs.Count()
+			return pl.TIDs.Clone(), st
+		}
+	}
+	return ix.candidatesGeneric(q)
+}
+
+func (ix *Index) candidatesGeneric(q *graph.Graph) (*pattern.TIDSet, Stats) {
 	var st Stats
 	// Label and edge filter: exact and always applicable. NarrowByFeatures
 	// intersects the exact TID set of every vertex label and edge triple
@@ -167,8 +274,57 @@ func (ix *Index) Candidates(q *graph.Graph) (*pattern.TIDSet, Stats) {
 
 // Find returns the ids of every database graph containing q, ascending,
 // with the evaluation statistics.
+//
+// Three paths, fastest first: a query canonicalizing to a compiled
+// pattern plan is answered from the plan's exact mined TID set (the
+// pattern set is fixed for the Index's lifetime, so no matching runs at
+// all); an ad-hoc query seen before on this Index is answered from the
+// bounded result cache; everything else runs the generic filter-verify
+// path (and populates the cache for next time).
 func (ix *Index) Find(q *graph.Graph) ([]int, Stats) {
-	cand, st := ix.Candidates(q)
+	o := ix.opts.Observer
+	key := ix.planKey(q)
+	if key != "" {
+		if pl := ix.plans[key]; pl != nil {
+			var t0 time.Time
+			if o != nil {
+				t0 = time.Now()
+			}
+			var st Stats
+			st.PlanHit = true
+			out := pl.TIDs.Slice()
+			st.Candidates, st.Verified = len(out), len(out)
+			if o != nil {
+				o.StageEnd("plan.find", time.Since(t0))
+				exec.Count(o, "plan.hit", 1)
+			}
+			return out, st
+		}
+		if ix.cache != nil {
+			if tids, ok := ix.cache.get(key); ok {
+				var st Stats
+				st.CacheHit = true
+				st.Candidates, st.Verified = len(tids), len(tids)
+				exec.Count(o, "query.cache_hit", 1)
+				out := make([]int, len(tids))
+				copy(out, tids)
+				return out, st
+			}
+			exec.Count(o, "query.cache_miss", 1)
+		}
+	}
+	exec.Count(o, "plan.fallback", 1)
+	out, st := ix.findGeneric(q)
+	if key != "" && ix.cache != nil {
+		ix.cache.put(key, out)
+	}
+	return out, st
+}
+
+// findGeneric is the filter-verify path: candidate filtering, signature
+// domination, then one posted VF2 run per surviving candidate.
+func (ix *Index) findGeneric(q *graph.Graph) ([]int, Stats) {
+	cand, st := ix.candidatesGeneric(q)
 	var out []int
 	m := ix.fx.NewMatcher(q) // one rarest-root match order for every candidate
 	qsig := index.SigOf(q)

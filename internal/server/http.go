@@ -12,6 +12,7 @@ import (
 	"partminer/internal/graph"
 	"partminer/internal/obs"
 	"partminer/internal/pattern"
+	"partminer/internal/query"
 )
 
 // patternJSON is the wire form of one frequent pattern.
@@ -48,7 +49,9 @@ func patternToJSON(p *pattern.Pattern, withTIDs bool) patternJSON {
 //	GET  /v1/patterns          top-k frequent patterns; ?k=, ?minsize=,
 //	                           ?tids=1; or one pattern by ?key=
 //	POST /v1/contains          graph text (or {"graph": "..."}) -> ids of
-//	                           database graphs containing it
+//	                           database graphs containing it; multi-graph
+//	                           text or {"graphs": [...]} answers a whole
+//	                           batch from one snapshot load
 //	POST /v1/update            {"ops": [...]} -> applied atomically,
 //	                           responds after the snapshot swap
 //	GET  /metrics              Prometheus text exposition (partserve_*)
@@ -139,38 +142,73 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxBatchQueries bounds one batched /v1/contains request.
+const maxBatchQueries = 256
+
 func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
-	text, err := graphBody(r)
+	gs, batched, err := queryGraphs(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	gs, err := graph.ReadDatabase(strings.NewReader(text))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query graph: %w", err))
+	if len(gs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no query graphs in request body"))
 		return
 	}
-	if len(gs) != 1 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("expected exactly 1 query graph, got %d", len(gs)))
+	if len(gs) > maxBatchQueries {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d query graphs exceeds the %d limit", len(gs), maxBatchQueries))
 		return
 	}
 	snap := s.Snapshot()
-	tids, st := snap.Contains(gs[0])
-	if tids == nil {
-		tids = []int{}
+	if !batched {
+		tids, st := snap.Contains(gs[0])
+		if tids == nil {
+			tids = []int{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":   snap.Epoch,
+			"support": len(tids),
+			"tids":    tids,
+			"stats":   containsStatsJSON(st),
+		})
+		return
+	}
+	all, sts := snap.ContainsBatch(gs)
+	results := make([]map[string]any, len(gs))
+	for i := range gs {
+		tids := all[i]
+		if tids == nil {
+			tids = []int{}
+		}
+		results[i] = map[string]any{
+			"support": len(tids),
+			"tids":    tids,
+			"stats":   containsStatsJSON(sts[i]),
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"epoch":   snap.Epoch,
-		"support": len(tids),
-		"tids":    tids,
-		"stats": map[string]int{
-			"features_tried":   st.FeaturesTried,
-			"features_matched": st.FeaturesMatched,
-			"candidates":       st.Candidates,
-			"sig_pruned":       st.SigPruned,
-			"verified":         st.Verified,
-		},
+		"count":   len(results),
+		"results": results,
 	})
+}
+
+func containsStatsJSON(st query.Stats) map[string]int {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return map[string]int{
+		"features_tried":   st.FeaturesTried,
+		"features_matched": st.FeaturesMatched,
+		"candidates":       st.Candidates,
+		"sig_pruned":       st.SigPruned,
+		"verified":         st.Verified,
+		"plan_hit":         b2i(st.PlanHit),
+		"cache_hit":        b2i(st.CacheHit),
+	}
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -199,24 +237,48 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// graphBody extracts the query graph text from either a raw text body or
-// a {"graph": "..."} JSON wrapper.
-func graphBody(r *http.Request) (string, error) {
+// queryGraphs extracts the containment queries from a /v1/contains body.
+// Accepted shapes: raw graph text (one graph = the legacy single-query
+// request, several graphs = a batch), a {"graph": "..."} JSON wrapper
+// (single), or a {"graphs": ["...", ...]} JSON wrapper (always treated
+// as a batch, even with one entry). The second result reports whether
+// the response should use the batched shape.
+func queryGraphs(r *http.Request) ([]*graph.Graph, bool, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
-		return "", err
+		return nil, false, err
 	}
-	trimmed := strings.TrimSpace(string(body))
-	if strings.HasPrefix(trimmed, "{") {
+	texts := []string{string(body)}
+	batched := false
+	if trimmed := strings.TrimSpace(string(body)); strings.HasPrefix(trimmed, "{") {
 		var req struct {
-			Graph string `json:"graph"`
+			Graph  string   `json:"graph"`
+			Graphs []string `json:"graphs"`
 		}
 		if err := json.Unmarshal(body, &req); err != nil {
-			return "", fmt.Errorf("bad JSON body: %w", err)
+			return nil, false, fmt.Errorf("bad JSON body: %w", err)
 		}
-		return req.Graph, nil
+		if len(req.Graphs) > 0 {
+			if req.Graph != "" {
+				return nil, false, fmt.Errorf(`request must use "graph" or "graphs", not both`)
+			}
+			texts, batched = req.Graphs, true
+		} else {
+			texts = []string{req.Graph}
+		}
 	}
-	return string(body), nil
+	var gs []*graph.Graph
+	for i, text := range texts {
+		parsed, err := graph.ReadDatabase(strings.NewReader(text))
+		if err != nil {
+			return nil, false, fmt.Errorf("bad query graph %d: %w", i, err)
+		}
+		gs = append(gs, parsed...)
+	}
+	if len(gs) > 1 {
+		batched = true
+	}
+	return gs, batched, nil
 }
 
 func intParam(s string, def int) (int, error) {

@@ -11,6 +11,7 @@ package server
 //	partserve_unit_mine_seconds               per-unit mining duration
 //	partserve_merge_verify_seconds            merge candidate verification
 //	partserve_vf2_match_seconds               VF2 match time (query path)
+//	partserve_plan_find_seconds               plan-served containment time
 //	partserve_queries_total                   read queries served
 //	partserve_updates_total                   update ops applied
 //	partserve_epoch                           current snapshot epoch
@@ -41,6 +42,7 @@ type serverMetrics struct {
 	unitMine    *obs.Histogram
 	mergeVerify *obs.Histogram
 	vf2         *obs.Histogram
+	planFind    *obs.Histogram
 	queries     *obs.Counter
 
 	// seam maps observer counter names onto registered counters; built
@@ -59,6 +61,7 @@ func newServerMetrics() *serverMetrics {
 		unitMine:    r.Histogram("partserve_unit_mine_seconds", "Per-unit mining duration across re-mine rounds.", nil),
 		mergeVerify: r.Histogram("partserve_merge_verify_seconds", "Merge-join candidate verification time.", nil),
 		vf2:         r.Histogram("partserve_vf2_match_seconds", "VF2 subgraph-isomorphism match time on the query path.", nil),
+		planFind:    r.Histogram("partserve_plan_find_seconds", "Plan-served containment query time (compiled-pattern hits).", nil),
 		queries:     r.Counter("partserve_queries_total", "Read queries served (patterns, contains)."),
 	}
 }
@@ -76,6 +79,8 @@ func (m *serverMetrics) mapStage(stage string) *obs.Histogram {
 		return m.mergeVerify
 	case stage == "vf2.match":
 		return m.vf2
+	case stage == "plan.find":
+		return m.planFind
 	case strings.HasPrefix(stage, "unit."):
 		return m.unitMine
 	}

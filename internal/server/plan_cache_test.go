@@ -1,0 +1,229 @@
+package server
+
+// plan_cache_test.go pins the PR-7 read-path additions: the batched
+// /v1/contains endpoint, the plan metrics in /v1/stats, and — the
+// critical one — that the per-snapshot result cache can never serve a
+// stale-epoch answer across swaps (run with -race).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"partminer/internal/graph"
+	"partminer/internal/query"
+)
+
+// TestBatchedContains exercises both batched request shapes against a
+// live handler and checks each batch entry equals its single-query
+// answer at the same epoch.
+func TestBatchedContains(t *testing.T) {
+	db := testDB(11, 12)
+	cfg := testConfig()
+	s := mustStart(t, db, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := db[0]
+	probe := graph.New(0)
+	probe.AddVertex(g.Labels[0])
+	probe.AddVertex(g.Labels[g.Adj[0][0].To])
+	probe.MustAddEdge(0, 1, g.Adj[0][0].Label)
+	// A second probe cut from another graph, plus a miss (absent label).
+	h := db[1]
+	probe2 := graph.New(1)
+	probe2.AddVertex(h.Labels[0])
+	probe2.AddVertex(h.Labels[h.Adj[0][0].To])
+	probe2.MustAddEdge(0, 1, h.Adj[0][0].Label)
+	miss := graph.New(2)
+	miss.AddVertex(97)
+	miss.AddVertex(98)
+	miss.MustAddEdge(0, 1, 0)
+
+	var single struct {
+		Support int   `json:"support"`
+		TIDs    []int `json:"tids"`
+	}
+	post(t, ts.URL+"/v1/contains", probe.String(), http.StatusOK, &single)
+
+	type result struct {
+		Support int            `json:"support"`
+		TIDs    []int          `json:"tids"`
+		Stats   map[string]int `json:"stats"`
+	}
+	var batch struct {
+		Epoch   uint64   `json:"epoch"`
+		Count   int      `json:"count"`
+		Results []result `json:"results"`
+	}
+	// Raw multi-graph text body.
+	post(t, ts.URL+"/v1/contains", probe.String()+probe2.String()+miss.String(), http.StatusOK, &batch)
+	if batch.Count != 3 || len(batch.Results) != 3 {
+		t.Fatalf("batch = %+v, want 3 results", batch)
+	}
+	if batch.Results[0].Support != single.Support {
+		t.Fatalf("batch[0] support %d != single %d", batch.Results[0].Support, single.Support)
+	}
+	if batch.Results[2].Support != 0 {
+		t.Fatalf("miss probe matched %d graphs", batch.Results[2].Support)
+	}
+	if _, ok := batch.Results[0].Stats["plan_hit"]; !ok {
+		t.Fatalf("batch stats missing plan_hit: %v", batch.Results[0].Stats)
+	}
+
+	// JSON {"graphs": [...]} body — batched even with one entry.
+	wrapped, _ := json.Marshal(map[string][]string{"graphs": {probe.String(), probe2.String()}})
+	var batch2 struct {
+		Count   int      `json:"count"`
+		Results []result `json:"results"`
+	}
+	post(t, ts.URL+"/v1/contains", string(wrapped), http.StatusOK, &batch2)
+	if batch2.Count != 2 || batch2.Results[0].Support != single.Support {
+		t.Fatalf("json batch = %+v", batch2)
+	}
+	one, _ := json.Marshal(map[string][]string{"graphs": {probe.String()}})
+	var batch3 struct {
+		Count int `json:"count"`
+	}
+	post(t, ts.URL+"/v1/contains", string(one), http.StatusOK, &batch3)
+	if batch3.Count != 1 {
+		t.Fatalf("single-entry graphs batch = %+v", batch3)
+	}
+
+	// Error shapes.
+	both, _ := json.Marshal(map[string]any{"graph": probe.String(), "graphs": []string{probe.String()}})
+	post(t, ts.URL+"/v1/contains", string(both), http.StatusBadRequest, nil)
+	post(t, ts.URL+"/v1/contains", "", http.StatusBadRequest, nil)
+
+	// The stats document carries the plan metrics.
+	var stats Stats
+	get(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if stats.PlansCompiled == 0 {
+		t.Fatalf("stats.PlansCompiled = 0; plans not threaded through the server: %+v", stats)
+	}
+	if stats.PlanHits+stats.VF2Fallbacks+stats.CacheHits == 0 {
+		t.Fatal("no plan/fallback/cache activity recorded after contains traffic")
+	}
+}
+
+// TestCacheConsistentDuringSwaps is the swap-race pin for the result
+// cache: OnSwap records, per epoch, the scan-exact answer for a set of
+// probe queries; reader goroutines then hammer Contains (twice per probe
+// per loop, so the second run draws from the snapshot's cache or plan
+// table) while writers relabel vertices and swap epochs. Every observed
+// answer must equal the answer recorded for that snapshot's epoch — a
+// cache entry leaking across a swap would surface as a stale TID list.
+func TestCacheConsistentDuringSwaps(t *testing.T) {
+	db := testDB(13, 10)
+	cfg := testConfig()
+
+	probes := []*graph.Graph{}
+	for i := 0; i < 3; i++ {
+		g := db[i]
+		p := graph.New(i)
+		p.AddVertex(g.Labels[0])
+		p.AddVertex(g.Labels[g.Adj[0][0].To])
+		p.MustAddEdge(0, 1, g.Adj[0][0].Label)
+		probes = append(probes, p)
+		if g.Degree(0) > 1 {
+			p2 := graph.New(10 + i)
+			p2.AddVertex(g.Labels[g.Adj[0][1].To])
+			p2.AddVertex(g.Labels[0])
+			p2.AddVertex(g.Labels[g.Adj[0][0].To])
+			p2.MustAddEdge(0, 1, g.Adj[0][1].Label)
+			p2.MustAddEdge(1, 2, g.Adj[0][0].Label)
+			probes = append(probes, p2)
+		}
+	}
+
+	var published sync.Map // epoch -> []string (fmt of per-probe scan answers)
+	record := func(snap *Snapshot) {
+		want := make([]string, len(probes))
+		for i, p := range probes {
+			want[i] = fmt.Sprint(query.Scan(snap.DB, p))
+		}
+		published.Store(snap.Epoch, want)
+	}
+	cfg.OnSwap = record
+	s := mustStart(t, db, cfg)
+	// Start publishes epoch 1 before OnSwap is armed for it; record it
+	// directly (the probes and DB of epoch 1 are still live).
+	record(s.Snapshot())
+
+	var stop atomic.Bool
+	var reads, memoHits atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				snap := s.Snapshot()
+				wantAny, ok := published.Load(snap.Epoch)
+				if !ok {
+					t.Errorf("read snapshot at unpublished epoch %d", snap.Epoch)
+					return
+				}
+				want := wantAny.([]string)
+				for i, p := range probes {
+					for round := 0; round < 2; round++ {
+						tids, st := snap.Contains(p)
+						if got := fmt.Sprint(tids); got != want[i] {
+							t.Errorf("epoch %d probe %d round %d: got %s, recorded %s (planhit=%v cachehit=%v)",
+								snap.Epoch, i, round, got, want[i], st.PlanHit, st.CacheHit)
+							return
+						}
+						if st.PlanHit || st.CacheHit {
+							memoHits.Add(1)
+						}
+					}
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 8; i++ {
+				ops := []Op{{Kind: OpRelabelVertex, TID: (w*8 + i) % len(db), U: 0, Label: (w + i) % 4}}
+				if _, err := s.Apply(context.Background(), ops); err != nil {
+					t.Errorf("writer %d apply %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+	if memoHits.Load() == 0 {
+		t.Fatal("no plan or cache hits observed; the memoized path was never exercised")
+	}
+	if s.Snapshot().Epoch < 2 {
+		t.Fatal("no swaps happened")
+	}
+	// Determinism coda: on the settled final snapshot, a repeated query
+	// must be memoized (plan table or cache) and identical.
+	snap := s.Snapshot()
+	first, _ := snap.Contains(probes[0])
+	second, st := snap.Contains(probes[0])
+	if !st.PlanHit && !st.CacheHit {
+		t.Fatalf("repeated query on a settled snapshot not memoized: %+v", st)
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("memoized answer differs: %v vs %v", first, second)
+	}
+}

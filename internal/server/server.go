@@ -727,6 +727,15 @@ type Stats struct {
 	Edges         int    `json:"edges"`
 	Patterns      int    `json:"patterns"`
 	SearchFeats   int    `json:"search_features"`
+	// PlansCompiled is the number of compiled pattern plans in the served
+	// snapshot's search index; the counters below are server-lifetime
+	// totals from the observer seam.
+	PlansCompiled int     `json:"plans_compiled"`
+	PlanHits      int64   `json:"plan_hits"`
+	VF2Fallbacks  int64   `json:"vf2_fallbacks"`
+	CacheHits     int64   `json:"query_cache_hits"`
+	CacheMisses   int64   `json:"query_cache_misses"`
+	CacheHitRatio float64 `json:"query_cache_hit_ratio"`
 	MinSupport    int     `json:"min_support"`
 	UptimeNS      int64   `json:"uptime_ns"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -786,6 +795,14 @@ func (s *Server) Stats() Stats {
 		Queries:       s.metrics.queries.Value(),
 		Exec:          s.collector.Metrics(),
 		FoldLatency:   s.metrics.foldLatency.Quantiles(),
+	}
+	st.PlansCompiled = snap.Search.PlanCount()
+	st.PlanHits = st.Exec.Counters["plan.hit"]
+	st.VF2Fallbacks = st.Exec.Counters["plan.fallback"]
+	st.CacheHits = st.Exec.Counters["query.cache_hit"]
+	st.CacheMisses = st.Exec.Counters["query.cache_miss"]
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.CacheHitRatio = float64(st.CacheHits) / float64(total)
 	}
 	q := snap.Res.PartitionQuality
 	st.Partition = &q

@@ -97,6 +97,19 @@ func (s *Snapshot) Contains(q *graph.Graph) ([]int, query.Stats) {
 	return s.Search.Find(q)
 }
 
+// ContainsBatch answers many containment queries against this one
+// snapshot: every answer is consistent with the same epoch, and the
+// snapshot load, plan lookup table, and result cache are shared across
+// the batch. Results are positionally aligned with qs.
+func (s *Snapshot) ContainsBatch(qs []*graph.Graph) ([][]int, []query.Stats) {
+	tids := make([][]int, len(qs))
+	sts := make([]query.Stats, len(qs))
+	for i, q := range qs {
+		tids[i], sts[i] = s.Search.Find(q)
+	}
+	return tids, sts
+}
+
 // Fingerprint digests the snapshot's observable state — pattern keys
 // with supports, database shape — into one order-independent hash.
 // Consistency tests record it per epoch at publication and verify that

@@ -80,6 +80,19 @@ printf 't # 0\nv 0 0\nv 1 1\ne 0 1 0\n' >"$WORK/query.txt"
 curl -sSf -X POST --data-binary @"$WORK/query.txt" "$URL/v1/contains" >"$WORK/contains.json"
 grep -q '"support"' "$WORK/contains.json" || die "contains gave no support: $(cat "$WORK/contains.json")"
 
+say "POST /v1/contains (batched)"
+# Two copies of the same query plus a miss probe with an absent label:
+# the raw multi-graph body must come back as a batch document.
+printf 't # 0\nv 0 0\nv 1 1\ne 0 1 0\nt # 1\nv 0 0\nv 1 1\ne 0 1 0\nt # 2\nv 0 19\nv 1 19\ne 0 1 2\n' >"$WORK/batch.txt"
+curl -sSf -X POST --data-binary @"$WORK/batch.txt" "$URL/v1/contains" >"$WORK/batch.json"
+[ "$(jget "$WORK/batch.json" count)" = "3" ] || die "batched contains count: $(cat "$WORK/batch.json")"
+grep -q '"results"' "$WORK/batch.json" || die "batched contains has no results array: $(cat "$WORK/batch.json")"
+grep -q '"plan_hit"' "$WORK/batch.json" || die "batched contains stats lack plan_hit: $(cat "$WORK/batch.json")"
+# Identical queries in one batch must agree with the single-query answer.
+single_sup="$(jget "$WORK/contains.json" support)"
+batch_sups="$(sed -n 's/.*"support": *\([0-9]*\).*/\1/p' "$WORK/batch.json")"
+echo "$batch_sups" | head -n 1 | grep -qx "$single_sup" || die "batch[0] support differs from single: $batch_sups vs $single_sup"
+
 say "POST /v1/update"
 curl -sSf -X POST -d '{"ops":[{"op":"relabel_vertex","tid":0,"u":0,"label":3}]}' \
     "$URL/v1/update" >"$WORK/update.json"
@@ -99,6 +112,16 @@ grep -q '"stages"' "$WORK/stats.json" || die "stats has no exec stage breakdown"
 grep -q '"uptime_seconds"' "$WORK/stats.json" || die "stats has no uptime"
 grep -q '"queries_total"' "$WORK/stats.json" || die "stats has no query counter"
 grep -q '"updates_total"' "$WORK/stats.json" || die "stats has no update counter"
+plans="$(jget "$WORK/stats.json" plans_compiled)"
+[ -n "$plans" ] && [ "$plans" != "0" ] || die "stats has no compiled plans: $(cat "$WORK/stats.json")"
+grep -q '"plan_hits"' "$WORK/stats.json" || die "stats has no plan_hits"
+grep -q '"vf2_fallbacks"' "$WORK/stats.json" || die "stats has no vf2_fallbacks"
+grep -q '"query_cache_hit_ratio"' "$WORK/stats.json" || die "stats has no cache hit ratio"
+# The contains traffic above must have registered as plan hits or
+# fallbacks — the plan layer cannot be silently bypassed.
+hits="$(jget "$WORK/stats.json" plan_hits)"
+falls="$(jget "$WORK/stats.json" vf2_fallbacks)"
+[ "$((hits + falls))" -gt 0 ] || die "no plan activity after contains traffic: hits=$hits fallbacks=$falls"
 
 say "GET /metrics"
 curl -sSf "$URL/metrics" >"$WORK/metrics.txt"
