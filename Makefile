@@ -22,21 +22,21 @@ race:
 # iteration — it catches benchmarks broken by refactors without paying for
 # a real measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkPlannedContains|BenchmarkGenericContains|BenchmarkPlannedFind|BenchmarkBatchedContains|BenchmarkServeUpdateBatch|BenchmarkTraceOverhead|BenchmarkPartitionStrategies|BenchmarkScheduleCostFirst|BenchmarkScheduleIndexOrder' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkPlannedContains|BenchmarkGenericContains|BenchmarkPlannedFind|BenchmarkBatchedContains|BenchmarkServeUpdateBatch|BenchmarkTraceOverhead|BenchmarkPartitionStrategies|BenchmarkScheduleCostFirst|BenchmarkScheduleIndexOrder|BenchmarkTIDKernels|BenchmarkDecompMine' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkInitial|BenchmarkExtensions' -benchtime 1x ./internal/extend/
 
 # bench-json regenerates the current benchmark-trajectory snapshot
-# (BENCH_PR7.json) at full benchtime, embedding the recorded pre-change
+# (BENCH_PR8.json) at full benchtime, embedding the recorded pre-change
 # baseline for side-by-side comparison.
 bench-json:
-	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR7.json -label pr7-query-plans -baseline BENCH_PR7_BASELINE.json
+	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR8.json -label pr8-decomp-kernels -baseline BENCH_PR8_BASELINE.json
 
 # bench-diff gates allocs/op against the recorded baseline without running
-# any benchmarks: it compares the committed BENCH_PR7.json snapshot to
-# BENCH_PR7_BASELINE.json and fails on a >10% regression. Re-record the
+# any benchmarks: it compares the committed BENCH_PR8.json snapshot to
+# BENCH_PR8_BASELINE.json and fails on a >10% regression. Re-record the
 # snapshot with bench-json after intentional changes.
 bench-diff:
-	$(GO) run ./cmd/benchrunner -diff BENCH_PR7.json -baseline BENCH_PR7_BASELINE.json
+	$(GO) run ./cmd/benchrunner -diff BENCH_PR8.json -baseline BENCH_PR8_BASELINE.json
 
 # serve-smoke boots partserved on an ephemeral port, exercises every HTTP
 # endpoint with curl, and checks the answers (see scripts/serve_smoke.sh).

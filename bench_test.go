@@ -149,6 +149,20 @@ func BenchmarkScheduleCostFirst(b *testing.B) { bench.BenchScheduleCostFirst(b) 
 
 func BenchmarkScheduleIndexOrder(b *testing.B) { bench.BenchScheduleIndexOrder(b) }
 
+// Fused multi-way TID intersection kernel vs the chained pairwise
+// composition it replaces (clone + IntersectWith chain + Count).
+func BenchmarkTIDKernels(b *testing.B) {
+	b.Run("Fused", bench.BenchTIDKernelsFused)
+	b.Run("Chained", bench.BenchTIDKernelsChained)
+}
+
+// Decomposition-based large-pattern mining (envelope 4, target 12 edges)
+// vs pure edge growth on the same broom dataset under a 2s cutoff.
+func BenchmarkDecompMine(b *testing.B) {
+	b.Run("Decomp", bench.BenchDecompMineDecomp)
+	b.Run("EdgeGrowth", bench.BenchDecompMineEdgeGrowth)
+}
+
 func BenchmarkIncPartMiner(b *testing.B) {
 	db := benchDB(200)
 	sup := core.AbsoluteSupport(db, 0.04)

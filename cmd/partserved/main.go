@@ -42,6 +42,7 @@ func main() {
 	minsup := flag.Float64("minsup", 0.04, "minimum support as a fraction of the database (0.04 = 4%), or an absolute count when >= 1")
 	k := flag.Int("k", 2, "number of units")
 	maxEdges := flag.Int("maxedges", 0, "bound on pattern size (0 = unbounded)")
+	envelope := flag.Int("envelope", 0, "classic growth envelope: mine edge-by-edge up to this size, then continue to -maxedges by decomposition over mined pieces (0 = classic all the way)")
 	parallel := flag.Bool("parallel", false, "mine units in parallel")
 	workers := flag.Int("workers", 0, "worker-pool bound with -parallel (0 = GOMAXPROCS)")
 	criteria := flag.String("criteria", "partition3", "partitioning strategy: "+strings.Join(partition.Names(), ", "))
@@ -68,7 +69,7 @@ func main() {
 	defer stopSignals()
 
 	cfg := server.Config{
-		Mine:          core.Options{K: *k, MaxEdges: *maxEdges, Parallel: *parallel, Workers: *workers, Bisector: bis},
+		Mine:          core.Options{K: *k, MaxEdges: *maxEdges, GrowthEnvelope: *envelope, Parallel: *parallel, Workers: *workers, Bisector: bis},
 		Search:        query.IndexOptions{MaxFeatureEdges: *featEdges, CacheSize: *queryCache, PlanMaxEdges: *planEdges},
 		BatchWindow:   *batchWindow,
 		Logger:        log,

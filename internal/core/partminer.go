@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"partminer/internal/decomp"
 	"partminer/internal/dfscode"
 	"partminer/internal/exec"
 	"partminer/internal/gaston"
@@ -77,6 +78,16 @@ type Options struct {
 	Workers int
 	// MaxEdges bounds pattern size; 0 means unbounded.
 	MaxEdges int
+	// GrowthEnvelope, when > 0 and < MaxEdges, caps the classic
+	// edge-at-a-time pipeline (unit mining + merge-join) at that size
+	// and continues from there to MaxEdges with the decomposition miner
+	// (internal/decomp): candidates are covered by already-mined pieces,
+	// pruned by the fused intersection of the pieces' TID sets, and
+	// survivors verified exactly with compiled matching plans. Results
+	// stay exact; only the route to large patterns changes. 0 (or
+	// MaxEdges of 0, unbounded) keeps the classic pipeline for every
+	// size.
+	GrowthEnvelope int
 	// UnitCosts, when non-empty, is the estimated mining cost per unit
 	// (e.g. the measured UnitTimes of a previous epoch, as PartServe
 	// maintains across folds). The scheduler starts units in descending
@@ -116,6 +127,22 @@ func (o *Options) normalize() error {
 		o.Bisector = partition.Partition3
 	}
 	return nil
+}
+
+// decompActive reports whether the run continues past the classic
+// growth envelope with the decomposition miner.
+func (o Options) decompActive() bool {
+	return o.GrowthEnvelope > 0 && o.MaxEdges > o.GrowthEnvelope
+}
+
+// classicMaxEdges is the size bound handed to unit miners and the
+// merge-join chain: the growth envelope when decomposition continues
+// beyond it, MaxEdges otherwise.
+func (o Options) classicMaxEdges() int {
+	if o.decompActive() {
+		return o.GrowthEnvelope
+	}
+	return o.MaxEdges
 }
 
 // unitMiner resolves the effective unit miner without mutating Options,
@@ -209,6 +236,11 @@ type Result struct {
 	// MergeStats aggregates candidate/verification counters across every
 	// merge-join in the run.
 	MergeStats mergejoin.Stats
+	// DecompStats counts the decomposition continuation's work when
+	// Options.GrowthEnvelope engaged it; zero otherwise.
+	DecompStats decomp.Stats
+	// DecompTime is the wall clock of the decomposition continuation.
+	DecompTime time.Duration
 	// Degraded records unit-miner failures, one error per degraded unit
 	// in unit order. A degraded unit contributed an empty (or partial)
 	// accelerator set: the run's Patterns stay exact — the merge-join
@@ -367,7 +399,7 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 		defer endUnit()
 		uctx = obs.ObserverInContext(uctx, o)
 		t0 := time.Now()
-		set, err := opts.unitMiner()(uctx, leaves[i].DB, res.UnitSupport, opts.MaxEdges)
+		set, err := opts.unitMiner()(uctx, leaves[i].DB, res.UnitSupport, opts.classicMaxEdges())
 		if set == nil {
 			set = make(pattern.Set)
 		}
@@ -413,8 +445,41 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 		return nil, err
 	}
 	res.MergeTime = time.Since(t0)
+	if err := mineLarge(ctx, res, opts); err != nil {
+		return nil, err
+	}
 	res.Options = opts
 	return res, nil
+}
+
+// mineLarge runs the decomposition continuation past the classic growth
+// envelope (Options.GrowthEnvelope < size <= MaxEdges): the finished
+// classic result is the complete piece dictionary, the run's shared
+// feature index supplies narrowing and plan posting, and every large
+// pattern folded into res.Patterns carries an exactly verified support
+// and TID set. A no-op when the envelope is not engaged.
+func mineLarge(ctx context.Context, res *Result, opts Options) error {
+	if !opts.decompActive() {
+		return nil
+	}
+	t0 := time.Now()
+	dctx, endStage := obs.Phase(ctx, opts.Observer, "decomp")
+	large, dst, err := decomp.MineContext(dctx, res.Index, res.Patterns, decomp.Options{
+		MinSupport: opts.MinSupport,
+		Envelope:   opts.GrowthEnvelope,
+		MaxEdges:   opts.MaxEdges,
+		Observer:   opts.Observer,
+	})
+	endStage()
+	if err != nil {
+		return err
+	}
+	res.DecompStats = *dst
+	for k, p := range large {
+		res.Patterns[k] = p
+	}
+	res.DecompTime = time.Since(t0)
+	return nil
 }
 
 // solve recovers the frequent set of a partition-tree node from its
@@ -440,7 +505,7 @@ func solve(ctx context.Context, n *partition.Node, path string, units []pattern.
 	}
 	cfg := mergejoin.Config{
 		MinSupport:  ceilDiv(opts.MinSupport, 1<<uint(n.Level)),
-		MaxEdges:    opts.MaxEdges,
+		MaxEdges:    opts.classicMaxEdges(),
 		StrictPaper: opts.StrictPaperJoin,
 		Stats:       stats,
 		Pool:        pool,

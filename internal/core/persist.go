@@ -30,8 +30,8 @@ func SaveResult(w io.Writer, res *Result) error {
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "partminer-result v1")
-	fmt.Fprintf(bw, "options minsup=%d k=%d maxedges=%d strictpaper=%t parallel=%t bisector=%s\n",
-		res.Options.MinSupport, res.Options.K, res.Options.MaxEdges,
+	fmt.Fprintf(bw, "options minsup=%d k=%d maxedges=%d envelope=%d strictpaper=%t parallel=%t bisector=%s\n",
+		res.Options.MinSupport, res.Options.K, res.Options.MaxEdges, res.Options.GrowthEnvelope,
 		res.Options.StrictPaperJoin, res.Options.Parallel, bisector)
 	fmt.Fprintf(bw, "dbsize %d\n", len(res.Tree.Root.DB))
 	fmt.Fprintf(bw, "unitsupport %d\n", res.UnitSupport)
@@ -91,6 +91,8 @@ func LoadResult(r io.Reader, db graph.Database) (*Result, error) {
 			res.Options.K, _ = strconv.Atoi(parts[1])
 		case "maxedges":
 			res.Options.MaxEdges, _ = strconv.Atoi(parts[1])
+		case "envelope":
+			res.Options.GrowthEnvelope, _ = strconv.Atoi(parts[1])
 		case "strictpaper":
 			res.Options.StrictPaperJoin = parts[1] == "true"
 		case "parallel":

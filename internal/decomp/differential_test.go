@@ -1,0 +1,106 @@
+package decomp_test
+
+import (
+	"context"
+	"testing"
+
+	"partminer/internal/core"
+	"partminer/internal/datagen"
+	"partminer/internal/gspan"
+	"partminer/internal/isomorph"
+	"partminer/internal/pattern"
+)
+
+// TestDecompDifferential50Seeds is the exactness contract of the
+// decomposition continuation: over 50 seeded databases, a run routed
+// through the envelope (classic mining to GrowthEnvelope edges, then
+// decomposition to MaxEdges) must produce a pattern set bit-identical —
+// keys, supports, TID bitsets — to direct gSpan mining at MaxEdges.
+// Everything between envelope+1 and MaxEdges edges was mined by
+// approximate-then-verify decomposition, so the identity holds only if
+// the cover/upper-bound prunes are sound and verification is exact. On
+// top of the identity, every beyond-envelope pattern's support is
+// re-verified against brute-force isomorphism over the database, so the
+// reference itself is cross-checked (upper-bound-only results can never
+// be reported).
+func TestDecompDifferential50Seeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-seed differential is slow; skipped with -short")
+	}
+	const (
+		minSup   = 3
+		maxEdges = 4
+		envelope = 2
+	)
+	for seed := 0; seed < 50; seed++ {
+		cfg := datagen.Config{D: 14, T: 7, N: 4, L: 10, I: 3, Seed: int64(seed)}
+		if seed%2 == 1 {
+			cfg.Hubs = 2
+		}
+		db := datagen.Generate(cfg)
+		want := gspan.Mine(db, gspan.Options{MinSupport: minSup, MaxEdges: maxEdges})
+		res, err := core.PartMiner(db, core.Options{
+			MinSupport:     minSup,
+			K:              2,
+			MaxEdges:       maxEdges,
+			GrowthEnvelope: envelope,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := res.Patterns
+		if len(want) != len(got) {
+			t.Errorf("seed %d: %d patterns; gSpan found %d (diff %v)",
+				seed, len(got), len(want), want.Diff(got))
+			continue
+		}
+		for key, wp := range want {
+			gp, ok := got[key]
+			if !ok {
+				t.Errorf("seed %d: missing pattern %s", seed, wp.Code)
+				continue
+			}
+			if gp.Support != wp.Support {
+				t.Errorf("seed %d: %s support %d; want %d", seed, wp.Code, gp.Support, wp.Support)
+			}
+			if wp.TIDs == nil || gp.TIDs == nil || !wp.TIDs.Equal(gp.TIDs) {
+				t.Errorf("seed %d: %s TID bitsets differ", seed, wp.Code)
+			}
+		}
+		// Independent exactness check for the decomposition-mined sizes.
+		for _, p := range got {
+			if p.Size() <= envelope {
+				continue
+			}
+			pg := p.Code.Graph()
+			truth := pattern.NewTIDSet(len(db))
+			for tid, g := range db {
+				if isomorph.Contains(g, pg) {
+					truth.Add(tid)
+				}
+			}
+			if truth.Count() != p.Support || !truth.Equal(p.TIDs) {
+				t.Errorf("seed %d: %s reported support %d differs from brute-force %d",
+					seed, p.Code, p.Support, truth.Count())
+			}
+		}
+		// Sanity: the run actually exercised the continuation.
+		if res.DecompStats.Candidates == 0 {
+			t.Errorf("seed %d: decomposition stage generated no candidates", seed)
+		}
+	}
+}
+
+// TestDecompCancellation pins cooperative cancellation: a pre-cancelled
+// context aborts the continuation with the context error.
+func TestDecompCancellation(t *testing.T) {
+	db := datagen.Generate(datagen.Config{D: 14, T: 7, N: 4, L: 10, I: 3, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := core.MineContext(ctx, db, core.Options{
+		MinSupport: 3, K: 2, MaxEdges: 4, GrowthEnvelope: 2,
+	})
+	if err == nil {
+		t.Fatal("cancelled mine returned nil error")
+	}
+}

@@ -128,12 +128,12 @@ func verify(db graph.Database, cands map[string]*graph.Graph, known pattern.Set,
 		}
 		tids := pattern.NewTIDSet(len(db))
 		support := 0
-		for _, tid := range inter.Slice() {
+		inter.ForEach(func(tid int) {
 			if isomorph.Contains(db[tid], g) {
 				tids.Add(tid)
 				support++
 			}
-		}
+		})
 		if support < minSup {
 			continue
 		}

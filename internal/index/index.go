@@ -537,14 +537,14 @@ func (ix *FeatureIndex) SupportTIDs(p *graph.Graph) *pattern.TIDSet {
 	}
 	psig := SigOf(p)
 	m := ix.NewMatcher(p)
-	for _, tid := range cand.Slice() {
+	cand.ForEach(func(tid int) {
 		if !ix.sigs[tid].Dominates(psig) {
-			continue
+			return
 		}
 		if m.ContainsPostedTick(ix.db[tid], &ix.posts[tid], nil) {
 			out.Add(tid)
 		}
-	}
+	})
 	return out
 }
 

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"partminer/internal/decomp"
 	"partminer/internal/dfscode"
 	"partminer/internal/exec"
 	"partminer/internal/graph"
@@ -91,6 +92,12 @@ type Stats struct {
 	// label/triple TID bitsets (a subset of Pruned), before any
 	// subpattern canonicalization.
 	TriplePruned int64
+	// DecompPruned counts large candidates eliminated by the
+	// decomposition pruner (a subset of Pruned): an edge cover by
+	// already-recovered sub-patterns either misses a piece (the piece is
+	// infrequent, so the candidate is) or the fused intersection of the
+	// pieces' TID sets falls below the threshold.
+	DecompPruned int64
 	// SigPruned counts per-transaction isomorphism tests skipped because
 	// the transaction's invariant signature does not dominate the
 	// candidate's.
@@ -114,6 +121,7 @@ func (s *Stats) Counters() map[string]int64 {
 		"merge.unit_seeded":   s.UnitSeeded,
 		"merge.pruned":        s.Pruned,
 		"merge.triple_pruned": s.TriplePruned,
+		"merge.decomp_pruned": s.DecompPruned,
 		"merge.sig_pruned":    s.SigPruned,
 		"merge.iso_tests":     s.IsoTests,
 		"merge.carried_tids":  s.CarriedTIDs,
@@ -126,11 +134,19 @@ func (s *Stats) add(o *Stats) {
 	s.UnitSeeded += o.UnitSeeded
 	s.Pruned += o.Pruned
 	s.TriplePruned += o.TriplePruned
+	s.DecompPruned += o.DecompPruned
 	s.SigPruned += o.SigPruned
 	s.IsoTests += o.IsoTests
 	s.CarriedTIDs += o.CarriedTIDs
 	s.Frequent += o.Frequent
 }
+
+// decompMinEdges is the candidate size (in edges) at which the
+// decomposition pruner engages during verification: below it the
+// one-edge-removed Apriori chain already covers the candidate, and the
+// piece dictionary (sizes up to decomp.DefaultPieceMax) needs the
+// preceding levels recovered first.
+const decompMinEdges = decomp.DefaultPieceMax + 1
 
 func (c Config) minSup() int {
 	if c.MinSupport < 1 {
@@ -281,7 +297,17 @@ func MergeContext(ctx context.Context, s graph.Database, p0, p1 pattern.Set, cfg
 		for _, p := range sized(by1, k+1) {
 			unitKeys[p.Code.Key()] = true
 		}
-		verified, err := verifyAll(ctx, s, cands, cur, minSup, cfg, tick)
+		// For large candidates the decomposition cover is a cheaper first
+		// cut than per-edge subpattern canonicalization: result is
+		// complete for every size mined so far, so pieces of up to
+		// DefaultPieceMax edges resolve to exact TID sets (or prove the
+		// candidate infrequent outright). Below decompMinEdges the
+		// Apriori chain already covers the candidate edge-by-edge.
+		var dec *decomp.Decomposer
+		if k+1 >= decompMinEdges {
+			dec = decomp.NewDecomposer(result, decomp.DefaultPieceMax)
+		}
+		verified, err := verifyAll(ctx, s, cands, cur, minSup, cfg, dec, tick)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +331,7 @@ func MergeContext(ctx context.Context, s graph.Database, p0, p1 pattern.Set, cfg
 // provided, serially otherwise — and returns the frequent ones. A
 // cancellation observed through tick aborts verification and returns
 // the context error.
-func verifyAll(ctx context.Context, s graph.Database, cands map[string]*candidate, cur pattern.Set, minSup int, cfg Config, tick *exec.Ticker) (pattern.Set, error) {
+func verifyAll(ctx context.Context, s graph.Database, cands map[string]*candidate, cur pattern.Set, minSup int, cfg Config, dec *decomp.Decomposer, tick *exec.Ticker) (pattern.Set, error) {
 	type item struct {
 		key string
 		c   *candidate
@@ -335,7 +361,7 @@ func verifyAll(ctx context.Context, s graph.Database, cands map[string]*candidat
 			if o != nil {
 				t0 = time.Now()
 			}
-			p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &total, tick)
+			p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, dec, &total, tick)
 			if o != nil {
 				o.StageEnd("merge.verify", time.Since(t0))
 			}
@@ -353,7 +379,7 @@ func verifyAll(ctx context.Context, s graph.Database, cands map[string]*candidat
 			if o != nil {
 				t0 = time.Now()
 			}
-			p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, &st, tick)
+			p := checkCandidate(s, it.key, it.c, cur, minSup, cfg, dec, &st, tick)
 			if o != nil {
 				o.StageEnd("merge.verify", time.Since(t0))
 			}
@@ -485,7 +511,7 @@ func addExtensionCandidate(cands map[string]*candidate, ext extCandidate, parent
 // supporters of a previously frequent pattern among unchanged
 // transactions carry over without testing. It returns nil for infrequent
 // or pruned candidates.
-func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set, minSup int, cfg Config, st *Stats, tick *exec.Ticker) *pattern.Pattern {
+func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set, minSup int, cfg Config, dec *decomp.Decomposer, st *Stats, tick *exec.Ticker) *pattern.Pattern {
 	ix := cfg.Index
 	var inter *pattern.TIDSet
 	if ix != nil {
@@ -498,6 +524,38 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 			st.TriplePruned++
 			st.Pruned++
 			return nil
+		}
+	}
+	if dec != nil {
+		// Decomposition pruner for large candidates: cover the candidate
+		// with already-recovered pieces. A missing piece proves the
+		// candidate infrequent before any subpattern canonicalization;
+		// otherwise the fused k-way intersect+popcount over the pieces'
+		// exact TID sets (plus the feature narrowing above) bounds the
+		// support in one pass over the bitset words.
+		pieces, _, ok := dec.Cover(c.g)
+		if !ok {
+			st.DecompPruned++
+			st.Pruned++
+			return nil
+		}
+		if len(pieces) > 0 {
+			if inter != nil {
+				pieces = append(pieces, inter)
+			}
+			if pattern.IntersectCountMulti(pieces) < minSup {
+				st.DecompPruned++
+				st.Pruned++
+				return nil
+			}
+			if inter != nil {
+				// Materialize the surviving intersection: every piece
+				// TID set is a superset of the candidate's supporters,
+				// so narrowing here spares isomorphism tests below.
+				for _, pt := range pieces[:len(pieces)-1] {
+					inter.IntersectWith(pt)
+				}
+			}
 		}
 	}
 	narrow := func(subKey string) bool {
@@ -585,33 +643,37 @@ func checkCandidate(s graph.Database, key string, c *candidate, cur pattern.Set,
 		matcher = isomorph.NewMatcher(c.g)
 	}
 	count := func(candidateTIDs *pattern.TIDSet) {
-		for _, tid := range candidateTIDs.Slice() {
+		// Allocation-free walk of the candidate TID words; a fired
+		// ticker stops it early (the partial count is discarded
+		// upstream).
+		candidateTIDs.ForEachUntil(func(tid int) bool {
 			if tick.Hit() {
-				return // cancelled: the partial count is discarded upstream
+				return false
 			}
 			if c.guaranteed.Contains(tid) {
 				tids.Add(tid)
 				support++
-				continue
+				return true
 			}
 			if ix != nil {
 				if !ix.SigDominates(tid, psig) {
 					st.SigPruned++
-					continue
+					return true
 				}
 				st.IsoTests++
 				if matcher.ContainsPostedTick(s[tid], ix.Lister(tid), tick) {
 					tids.Add(tid)
 					support++
 				}
-				continue
+				return true
 			}
 			st.IsoTests++
 			if matcher.ContainsTick(s[tid], tick) {
 				tids.Add(tid)
 				support++
 			}
-		}
+			return true
+		})
 	}
 	if cfg.Old != nil && cfg.Updated != nil {
 		if old, ok := cfg.Old[key]; ok && old.TIDs != nil {

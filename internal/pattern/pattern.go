@@ -219,6 +219,96 @@ func (t *TIDSet) IntersectCount(o *TIDSet) int {
 	return count
 }
 
+// IntersectCountMulti returns |sets[0] ∩ sets[1] ∩ ... | in a single
+// fused pass: for each word index the k-way AND is computed in registers
+// and popcounted immediately, so every word of every set is touched
+// exactly once regardless of k. The chained alternative
+// (Clone+IntersectWith per set, then Count) walks the accumulator k+1
+// times and writes it back k times; the fused kernel does neither, which
+// is what makes decomposition upper bounds O(words) instead of
+// O(k·words) with k round trips through the cache.
+//
+// The pass is blocked so that with many sets the working strip of every
+// operand stays cache-resident. An all-zero block short-circuits the
+// remaining sets for that word. An empty slice returns 0.
+func IntersectCountMulti(sets []*TIDSet) int {
+	if len(sets) == 0 {
+		return 0
+	}
+	if len(sets) == 1 {
+		return sets[0].Count()
+	}
+	// The intersection can only cover the shortest operand.
+	n := len(sets[0].words)
+	for _, s := range sets[1:] {
+		if len(s.words) < n {
+			n = len(s.words)
+		}
+	}
+	const block = 512 // words per strip: 4KiB per operand, L1-resident for small k
+	count := 0
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			w := sets[0].words[i] & sets[1].words[i]
+			for _, s := range sets[2:] {
+				if w == 0 {
+					break
+				}
+				w &= s.words[i]
+			}
+			count += bits.OnesCount64(w)
+		}
+	}
+	return count
+}
+
+// AndNotCount returns |t \ o| without allocating.
+func (t *TIDSet) AndNotCount(o *TIDSet) int {
+	n := len(t.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		count += bits.OnesCount64(t.words[i] &^ o.words[i])
+	}
+	for _, w := range t.words[n:] {
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
+// UnionWith widens t to the union with o in place, growing t's backing
+// array when o is longer — the allocation-free form of Union for callers
+// that own t. It returns t.
+func (t *TIDSet) UnionWith(o *TIDSet) *TIDSet {
+	if len(o.words) > len(t.words) {
+		grown := make([]uint64, len(o.words))
+		copy(grown, t.words)
+		t.words = grown
+	}
+	for i, w := range o.words {
+		t.words[i] |= w
+	}
+	return t
+}
+
+// MinusWith removes o's members from t in place and returns t.
+func (t *TIDSet) MinusWith(o *TIDSet) *TIDSet {
+	n := len(t.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		t.words[i] &^= o.words[i]
+	}
+	return t
+}
+
 // Minus returns a new set holding the members of t not in o.
 func (t *TIDSet) Minus(o *TIDSet) *TIDSet {
 	out := &TIDSet{words: append([]uint64(nil), t.words...)}
@@ -267,9 +357,40 @@ func (t *TIDSet) Equal(o *TIDSet) bool {
 	return true
 }
 
+// ForEach calls fn for every member tid in ascending order. Unlike
+// Slice it never allocates: hot read loops iterate candidates straight
+// off the words, and a closure capturing locals stays on the stack
+// because fn does not escape.
+func (t *TIDSet) ForEach(fn func(tid int)) {
+	for wi, w := range t.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << b
+		}
+	}
+}
+
+// ForEachUntil is ForEach with early exit: iteration stops the first
+// time fn returns false. It reports whether the walk ran to completion,
+// so cancellable verification loops can distinguish "exhausted" from
+// "stopped".
+func (t *TIDSet) ForEachUntil(fn func(tid int) bool) bool {
+	for wi, w := range t.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*64 + b) {
+				return false
+			}
+			w &^= 1 << b
+		}
+	}
+	return true
+}
+
 // Slice returns the member tids in ascending order.
 func (t *TIDSet) Slice() []int {
-	var out []int
+	out := make([]int, 0, t.Count())
 	for wi, w := range t.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)

@@ -480,10 +480,10 @@ func (p *Plan) SupportTIDs(fx *index.FeatureIndex) *pattern.TIDSet {
 	if cand == nil {
 		return out
 	}
-	for _, tid := range cand.Slice() {
+	cand.ForEach(func(tid int) {
 		if p.MatchIn(fx, tid) {
 			out.Add(tid)
 		}
-	}
+	})
 	return out
 }

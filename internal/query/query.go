@@ -329,12 +329,12 @@ func (ix *Index) findGeneric(q *graph.Graph) ([]int, Stats) {
 	m := ix.fx.NewMatcher(q) // one rarest-root match order for every candidate
 	qsig := index.SigOf(q)
 	o := ix.opts.Observer
-	for _, tid := range cand.Slice() {
+	cand.ForEach(func(tid int) {
 		// Signature domination dismisses candidates whose label
 		// histogram, triple counts, or per-label degrees cannot host q.
 		if !ix.fx.SigDominates(tid, qsig) {
 			st.SigPruned++
-			continue
+			return
 		}
 		// Each VF2 run is timed inline (no defer closures) and only when
 		// an observer is attached, keeping the default path 0-alloc.
@@ -349,7 +349,7 @@ func (ix *Index) findGeneric(q *graph.Graph) ([]int, Stats) {
 		if hit {
 			out = append(out, tid)
 		}
-	}
+	})
 	exec.Count(o, "vf2.steps", m.Steps())
 	st.Verified = len(out)
 	return out, st

@@ -46,8 +46,9 @@ func patternToJSON(p *pattern.Pattern, withTIDs bool) patternJSON {
 //	GET  /healthz              liveness + current epoch
 //	GET  /v1/stats             Stats (epoch, batch latencies, exec phases,
 //	                           merge-join pruning counters, latency digests)
-//	GET  /v1/patterns          top-k frequent patterns; ?k=, ?minsize=,
-//	                           ?tids=1; or one pattern by ?key=
+//	GET  /v1/patterns          top-k frequent patterns; ?k=, ?min_edges=
+//	                           (alias ?minsize=), ?max_edges=, ?tids=1;
+//	                           or one pattern by ?key=
 //	POST /v1/contains          graph text (or {"graph": "..."}) -> ids of
 //	                           database graphs containing it; multi-graph
 //	                           text or {"graphs": [...]} answers a whole
@@ -125,12 +126,24 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad k: %w", err))
 		return
 	}
+	// minsize is the historical spelling of min_edges; both filter on
+	// edge count, the newer one wins when both are present.
 	minSize, err := intParam(q.Get("minsize"), 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad minsize: %w", err))
 		return
 	}
-	top := snap.TopK(k, minSize)
+	minEdges, err := intParam(q.Get("min_edges"), minSize)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad min_edges: %w", err))
+		return
+	}
+	maxEdges, err := intParam(q.Get("max_edges"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad max_edges: %w", err))
+		return
+	}
+	top := snap.TopKRange(k, minEdges, maxEdges)
 	out := make([]patternJSON, len(top))
 	for i, p := range top {
 		out[i] = patternToJSON(p, withTIDs)

@@ -82,6 +82,50 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatalf("tids=1 returned %d tids for support %d", len(pats.Patterns[0].TIDs), pats.Patterns[0].Support)
 	}
 
+	// Size filtering: min_edges/max_edges bound the edge count of every
+	// returned pattern; minsize is the back-compat alias for min_edges.
+	var sized struct {
+		Patterns []patternJSON `json:"patterns"`
+	}
+	get(t, ts.URL+"/v1/patterns?min_edges=2", http.StatusOK, &sized)
+	if len(sized.Patterns) == 0 {
+		t.Fatal("min_edges=2 returned no patterns")
+	}
+	for _, p := range sized.Patterns {
+		if p.Size < 2 {
+			t.Fatalf("min_edges=2 returned pattern of size %d: %+v", p.Size, p)
+		}
+	}
+	var capped struct {
+		Patterns []patternJSON `json:"patterns"`
+	}
+	get(t, ts.URL+"/v1/patterns?k=0&max_edges=1", http.StatusOK, &capped)
+	if len(capped.Patterns) == 0 {
+		t.Fatal("max_edges=1 returned no patterns")
+	}
+	for _, p := range capped.Patterns {
+		if p.Size != 1 {
+			t.Fatalf("max_edges=1 returned pattern of size %d: %+v", p.Size, p)
+		}
+	}
+	var aliased struct {
+		Patterns []patternJSON `json:"patterns"`
+	}
+	get(t, ts.URL+"/v1/patterns?minsize=2", http.StatusOK, &aliased)
+	if len(aliased.Patterns) != len(sized.Patterns) {
+		t.Fatalf("minsize=2 returned %d patterns, min_edges=2 returned %d",
+			len(aliased.Patterns), len(sized.Patterns))
+	}
+	var empty struct {
+		Patterns []patternJSON `json:"patterns"`
+	}
+	get(t, ts.URL+"/v1/patterns?min_edges=3&max_edges=2", http.StatusOK, &empty)
+	if len(empty.Patterns) != 0 {
+		t.Fatalf("inverted size range returned %d patterns", len(empty.Patterns))
+	}
+	get(t, ts.URL+"/v1/patterns?min_edges=bogus", http.StatusBadRequest, nil)
+	get(t, ts.URL+"/v1/patterns?max_edges=bogus", http.StatusBadRequest, nil)
+
 	var one struct {
 		Pattern patternJSON `json:"pattern"`
 	}

@@ -181,6 +181,7 @@ type batchStats struct {
 	last, total time.Duration
 	max         time.Duration
 	merge       map[string]int64 // cumulative merge-join counters
+	decomp      map[string]int64 // cumulative decomposition-miner counters
 }
 
 type applyReq struct {
@@ -242,6 +243,7 @@ func newServer(cfg Config) *Server {
 	s.slow = obs.NewSlowLog(s.cfg.SlowLogSize, s.cfg.SlowThreshold)
 	s.logger = s.cfg.Logger
 	s.bs.merge = make(map[string]int64)
+	s.bs.decomp = make(map[string]int64)
 	s.reqs = make(chan *applyReq, s.cfg.QueueDepth)
 	s.opts = s.cfg.Mine
 	s.opts.Observer = s.mergedObserver(s.opts.Observer)
@@ -326,6 +328,7 @@ func (s *Server) launch(db graph.Database, res *core.Result) *Server {
 	s.snap.Store(snap)
 	s.mu.Lock()
 	s.accumulateMergeLocked(res.MergeStats.Counters())
+	s.accumulateDecompLocked(res.DecompStats.Counters())
 	s.mu.Unlock()
 	go s.loop()
 	return s
@@ -521,6 +524,7 @@ func (s *Server) fold(batch []*applyReq) {
 		s.bs.max = latency
 	}
 	s.accumulateMergeLocked(res.MergeStats.Counters())
+	s.accumulateDecompLocked(res.DecompStats.Counters())
 	s.mu.Unlock()
 
 	for _, req := range accepted {
@@ -720,6 +724,24 @@ func (s *Server) accumulateMergeLocked(counters map[string]int64) {
 	}
 }
 
+func (s *Server) accumulateDecompLocked(counters map[string]int64) {
+	// All-zero rounds (no growth envelope configured) are skipped so
+	// /v1/stats omits the decomp block entirely when the feature is off.
+	any := false
+	for _, v := range counters {
+		if v != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	for name, v := range counters {
+		s.bs.decomp[name] += v
+	}
+}
+
 // Stats is the service-level statistics document (/v1/stats).
 type Stats struct {
 	Epoch         uint64 `json:"epoch"`
@@ -768,6 +790,20 @@ type Stats struct {
 	// round, including the pruning counters (merge.triple_pruned,
 	// merge.sig_pruned) the feature index contributes.
 	Merge map[string]int64 `json:"merge"`
+	// Decomp holds the cumulative decomposition-miner counters across
+	// every mining round (decomp.candidates, decomp.pieces,
+	// decomp.cover_pruned, decomp.ub_pruned, decomp.verified, ...).
+	// Empty unless the mining configuration engages a growth envelope.
+	Decomp map[string]int64 `json:"decomp,omitempty"`
+	// DecompPiecesPerCandidate is the mean cover size of the
+	// decomposition miner (decomp.pieces / decomp.candidates).
+	DecompPiecesPerCandidate float64 `json:"decomp_pieces_per_candidate,omitempty"`
+	// DecompUBPruned and DecompVerified surface the headline
+	// decomposition counters directly: candidates killed by the fused
+	// TID upper bound before any matching, and candidates that reached
+	// exact verification.
+	DecompUBPruned int64 `json:"decomp_ub_pruned,omitempty"`
+	DecompVerified int64 `json:"decomp_verified,omitempty"`
 	// Exec is the collector's per-stage phase breakdown and counters
 	// aggregated over the server's lifetime.
 	Exec exec.Metrics `json:"exec"`
@@ -825,6 +861,17 @@ func (s *Server) Stats() Stats {
 	st.Merge = make(map[string]int64, len(s.bs.merge))
 	for k, v := range s.bs.merge {
 		st.Merge[k] = v
+	}
+	if len(s.bs.decomp) > 0 {
+		st.Decomp = make(map[string]int64, len(s.bs.decomp))
+		for k, v := range s.bs.decomp {
+			st.Decomp[k] = v
+		}
+		if cands := st.Decomp["decomp.candidates"]; cands > 0 {
+			st.DecompPiecesPerCandidate = float64(st.Decomp["decomp.pieces"]) / float64(cands)
+		}
+		st.DecompUBPruned = st.Decomp["decomp.ub_pruned"]
+		st.DecompVerified = st.Decomp["decomp.verified"]
 	}
 	if len(s.unitCosts) > 0 {
 		st.UnitCostsNS = make([]int64, len(s.unitCosts))

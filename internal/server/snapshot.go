@@ -73,9 +73,18 @@ func (s *Snapshot) Pattern(key string) *pattern.Pattern {
 // ordered by support descending with canonical-key ties ascending (a
 // total, deterministic order). k <= 0 returns every qualifying pattern.
 func (s *Snapshot) TopK(k, minSize int) []*pattern.Pattern {
+	return s.TopKRange(k, minSize, 0)
+}
+
+// TopKRange is TopK with both ends of the size filter: patterns with
+// fewer than minEdges or (when maxEdges > 0) more than maxEdges edges
+// are excluded. The large-pattern serving half of the decomposition
+// miner: ?min_edges= past the growth envelope selects exactly the
+// patterns the classic pipeline could not reach.
+func (s *Snapshot) TopKRange(k, minEdges, maxEdges int) []*pattern.Pattern {
 	out := make([]*pattern.Pattern, 0, len(s.Res.Patterns))
 	for _, p := range s.Res.Patterns {
-		if p.Size() >= minSize {
+		if p.Size() >= minEdges && (maxEdges <= 0 || p.Size() <= maxEdges) {
 			out = append(out, p)
 		}
 	}

@@ -75,6 +75,21 @@ curl -sSf "$URL/v1/patterns?k=5" >"$WORK/patterns.json"
 grep -q '"key"' "$WORK/patterns.json" || die "no patterns returned: $(cat "$WORK/patterns.json")"
 [ "$(jget "$WORK/patterns.json" epoch)" = "1" ] || die "unexpected epoch: $(cat "$WORK/patterns.json")"
 
+say "GET /v1/patterns (size filters)"
+# max_edges=1 keeps only single-edge patterns; min_edges=2 excludes them.
+curl -sSf "$URL/v1/patterns?k=0&max_edges=1" >"$WORK/edges1.json"
+grep -q '"key"' "$WORK/edges1.json" || die "max_edges=1 returned no patterns: $(cat "$WORK/edges1.json")"
+sizes="$(sed -n 's/.*"size": *\([0-9]*\).*/\1/p' "$WORK/edges1.json" | sort -u)"
+[ "$sizes" = "1" ] || die "max_edges=1 returned sizes: $sizes"
+curl -sSf "$URL/v1/patterns?k=0&min_edges=2" >"$WORK/edges2.json"
+if grep -q '"key"' "$WORK/edges2.json"; then
+    small="$(sed -n 's/.*"size": *\([0-9]*\).*/\1/p' "$WORK/edges2.json" | sort -n | head -n 1)"
+    [ "$small" -ge 2 ] || die "min_edges=2 returned a size-$small pattern"
+fi
+# minsize is the back-compat alias for min_edges: identical answers.
+curl -sSf "$URL/v1/patterns?k=0&minsize=2" >"$WORK/edges2alias.json"
+cmp -s "$WORK/edges2.json" "$WORK/edges2alias.json" || die "minsize alias disagrees with min_edges"
+
 say "POST /v1/contains"
 printf 't # 0\nv 0 0\nv 1 1\ne 0 1 0\n' >"$WORK/query.txt"
 curl -sSf -X POST --data-binary @"$WORK/query.txt" "$URL/v1/contains" >"$WORK/contains.json"
