@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json bench-diff serve-smoke obs-smoke part-smoke check clean
+.PHONY: all build vet test race bench-smoke bench-json bench-diff serve-smoke obs-smoke part-smoke cluster-smoke check clean
 
 all: check
 
@@ -22,21 +22,21 @@ race:
 # iteration — it catches benchmarks broken by refactors without paying for
 # a real measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkPlannedContains|BenchmarkGenericContains|BenchmarkPlannedFind|BenchmarkBatchedContains|BenchmarkServeUpdateBatch|BenchmarkTraceOverhead|BenchmarkPartitionStrategies|BenchmarkScheduleCostFirst|BenchmarkScheduleIndexOrder|BenchmarkTIDKernels|BenchmarkDecompMine' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkPlannedContains|BenchmarkGenericContains|BenchmarkPlannedFind|BenchmarkBatchedContains|BenchmarkServeUpdateBatch|BenchmarkClusterMine|BenchmarkTraceOverhead|BenchmarkPartitionStrategies|BenchmarkScheduleCostFirst|BenchmarkScheduleIndexOrder|BenchmarkTIDKernels|BenchmarkDecompMine' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkInitial|BenchmarkExtensions' -benchtime 1x ./internal/extend/
 
 # bench-json regenerates the current benchmark-trajectory snapshot
-# (BENCH_PR8.json) at full benchtime, embedding the recorded pre-change
+# (BENCH_PR9.json) at full benchtime, embedding the recorded pre-change
 # baseline for side-by-side comparison.
 bench-json:
-	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR8.json -label pr8-decomp-kernels -baseline BENCH_PR8_BASELINE.json
+	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR9.json -label pr9-cluster -baseline BENCH_PR9_BASELINE.json
 
 # bench-diff gates allocs/op against the recorded baseline without running
-# any benchmarks: it compares the committed BENCH_PR8.json snapshot to
-# BENCH_PR8_BASELINE.json and fails on a >10% regression. Re-record the
+# any benchmarks: it compares the committed BENCH_PR9.json snapshot to
+# BENCH_PR9_BASELINE.json and fails on a >10% regression. Re-record the
 # snapshot with bench-json after intentional changes.
 bench-diff:
-	$(GO) run ./cmd/benchrunner -diff BENCH_PR8.json -baseline BENCH_PR8_BASELINE.json
+	$(GO) run ./cmd/benchrunner -diff BENCH_PR9.json -baseline BENCH_PR9_BASELINE.json
 
 # serve-smoke boots partserved on an ephemeral port, exercises every HTTP
 # endpoint with curl, and checks the answers (see scripts/serve_smoke.sh).
@@ -58,7 +58,15 @@ obs-smoke:
 part-smoke:
 	./scripts/part_smoke.sh
 
-check: build vet race bench-smoke bench-diff serve-smoke obs-smoke part-smoke
+# cluster-smoke boots partserved in coordinator mode with three
+# partworker processes, checks /v1/cluster and the replica read path,
+# SIGKILLs the worker owning unit-0, folds an add_graph update through
+# the degraded fleet, and asserts the pattern set stays byte-identical
+# to a single-node server (see scripts/cluster_smoke.sh).
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+check: build vet race bench-smoke bench-diff serve-smoke obs-smoke part-smoke cluster-smoke
 
 clean:
 	$(GO) clean ./...

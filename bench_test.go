@@ -135,6 +135,8 @@ func BenchmarkBatchedContains(b *testing.B) { bench.BenchBatchedContains(b) }
 
 func BenchmarkServeUpdateBatch(b *testing.B) { bench.BenchServeUpdateBatch(b) }
 
+func BenchmarkClusterMine(b *testing.B) { bench.BenchClusterMine(b) }
+
 func BenchmarkTraceOverhead(b *testing.B) { bench.BenchTraceOverhead(b) }
 
 // One sub-benchmark per registered partition strategy, full PartMiner

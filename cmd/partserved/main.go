@@ -12,6 +12,13 @@
 // With -snapshot the service persists every published snapshot (write to
 // a temp file, then rename); -restore warm-starts from that file instead
 // of mining from scratch.
+//
+// With -cluster-addr the service becomes a cluster coordinator: partition
+// units are mined on partworker processes that join over RPC (consistent
+// hashing on unit id), published snapshots are replicated to -replicas
+// workers, and /v1/cluster reports the fleet. Workers that miss
+// heartbeats lose their units to the next ring owners; an empty or dead
+// fleet degrades to local mining, never to failure.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"partminer/internal/cluster"
 	"partminer/internal/core"
 	"partminer/internal/graph"
 	"partminer/internal/partition"
@@ -52,6 +60,12 @@ func main() {
 	planEdges := flag.Int("plan-edges", 0, "max pattern size compiled into matching plans (0 = 8 default, negative disables plans and the cache)")
 	snapshotPath := flag.String("snapshot", "", "persist every published snapshot to this file (atomic rename)")
 	restore := flag.Bool("restore", false, "warm-start from the -snapshot file instead of mining the database argument")
+	clusterAddr := flag.String("cluster-addr", "", "coordinator RPC listen address for partworker fleets (empty = single-node)")
+	clusterPortFile := flag.String("cluster-portfile", "", "write the coordinator's bound RPC address to this file (for scripts)")
+	replicas := flag.Int("replicas", 0, "workers each published snapshot is replicated to (0 = 1)")
+	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0, "expected worker heartbeat period (0 = 2s default)")
+	clusterMisses := flag.Int("cluster-misses", 0, "missed heartbeat intervals before a worker is declared dead (0 = 3)")
+	clusterWait := flag.Int("cluster-wait", 0, "wait for this many workers to register before the initial mine (0 = don't wait)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (off when empty)")
 	slowThreshold := flag.Duration("slow-threshold", 0, "journal operations slower than this to /v1/debug/slow (0 = 100ms default, negative disables)")
 	slowLogSize := flag.Int("slowlog", 0, "slow-operation journal capacity (0 = 64 default)")
@@ -83,6 +97,49 @@ func main() {
 				log.Error("snapshot save failed", "err", err)
 			}
 		}
+	}
+
+	// Coordinator mode: expose the membership RPC service and hand the
+	// coordinator to the server, which shards unit mining over whatever
+	// fleet joins and replicates published snapshots to it.
+	var coord *cluster.Coordinator
+	if *clusterAddr != "" {
+		coord = cluster.NewCoordinator(cluster.Config{
+			Replicas:          *replicas,
+			HeartbeatInterval: *clusterHeartbeat,
+			MaxMissed:         *clusterMisses,
+		})
+		cln, err := net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer cln.Close()
+		if *clusterPortFile != "" {
+			if err := os.WriteFile(*clusterPortFile, []byte(cln.Addr().String()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		go func() {
+			if err := coord.Serve(cln); err != nil && ctx.Err() == nil {
+				log.Error("coordinator RPC server exited", "err", err)
+			}
+		}()
+		log.Info("cluster coordinator listening", "addr", cln.Addr().String())
+		if *clusterWait > 0 {
+			waitDeadline := time.Now().Add(60 * time.Second)
+			for coord.AliveMembers() < *clusterWait {
+				if ctx.Err() != nil {
+					return
+				}
+				if time.Now().After(waitDeadline) {
+					fatal(fmt.Errorf("timed out waiting for %d workers (%d joined)", *clusterWait, coord.AliveMembers()))
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			log.Info("cluster fleet ready", "workers", coord.AliveMembers())
+		}
+		cfg.Cluster = coord
+		defer coord.Close()
 	}
 
 	// Opt-in profiling listener, separate from the API address so the
@@ -192,7 +249,9 @@ func saveSnapshot(path string, snap *server.Snapshot) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := core.SaveSnapshot(tmp, snap.Res); err != nil {
+	// Portable strips the non-serializable miner functions, so snapshots
+	// persist even when the units were mined through a cluster.
+	if err := core.SaveSnapshot(tmp, snap.Res.Portable()); err != nil {
 		tmp.Close()
 		return err
 	}

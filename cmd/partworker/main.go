@@ -1,11 +1,21 @@
 // Command partworker runs a unit-mining worker for distributed PartMiner.
-// A coordinator (any process using partminer.DialWorkers) ships partition
-// units to workers and merges the returned frequent-pattern sets locally.
-// SIGINT/SIGTERM shut the worker down cleanly.
+//
+// Standalone mode (no -join): serve the legacy internal/remote Miner
+// service; a coordinator using partminer.DialWorkers ships partition
+// units here by explicit address.
+//
+// Cluster mode (-join): serve the cluster Shard service (unit mining
+// with a warm cache, snapshot replicas, replica reads), register with
+// the coordinator, and heartbeat until stopped. The -id is the worker's
+// ring identity: restarting under the same -id reclaims exactly the
+// units it owned before.
 //
 // Usage:
 //
 //	partworker -listen :4100
+//	partworker -listen :0 -join 127.0.0.1:7400 -id worker-a
+//
+// SIGINT/SIGTERM shut the worker down cleanly.
 package main
 
 import (
@@ -17,11 +27,17 @@ import (
 	"os/signal"
 	"syscall"
 
+	"partminer/internal/cluster"
 	"partminer/internal/remote"
 )
 
 func main() {
-	listen := flag.String("listen", ":4100", "address to listen on")
+	listen := flag.String("listen", ":4100", "address to listen on (use :0 for an ephemeral port)")
+	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	join := flag.String("join", "", "coordinator address to register with (enables cluster mode)")
+	id := flag.String("id", "", "stable ring identity in cluster mode (default: worker-<pid>)")
+	advertise := flag.String("advertise", "", "address advertised to the coordinator (default: the bound listener address)")
+	heartbeat := flag.Duration("heartbeat", 0, "heartbeat period in cluster mode (0 = 2s default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -29,21 +45,55 @@ func main() {
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "partworker:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(l.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	// Closing the listener makes Serve's Accept return, unwinding main.
 	go func() {
 		<-ctx.Done()
 		l.Close()
 	}()
-	fmt.Fprintf(os.Stderr, "partworker: mining units on %s\n", l.Addr())
-	if err := remote.Serve(l); err != nil {
+
+	if *join == "" {
+		fmt.Fprintf(os.Stderr, "partworker: mining units on %s\n", l.Addr())
+		if err := remote.Serve(l); err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "partworker: shutting down")
+				return
+			}
+			fatal(err)
+		}
+		return
+	}
+
+	if *id == "" {
+		*id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	w := cluster.NewWorker(*id)
+	w.Heartbeat = *heartbeat
+	w.Advertise = *advertise
+	if w.Advertise == "" {
+		w.Advertise = l.Addr().String()
+	}
+	if err := w.Join(*join); err != nil {
+		fatal(fmt.Errorf("join %s: %w", *join, err))
+	}
+	defer w.Close()
+	fmt.Fprintf(os.Stderr, "partworker: %s serving shards on %s, joined %s\n", *id, l.Addr(), *join)
+	if err := w.Serve(l); err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "partworker: shutting down")
 			return
 		}
-		fmt.Fprintln(os.Stderr, "partworker:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partworker:", err)
+	os.Exit(1)
 }

@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"partminer/internal/cluster"
 	"partminer/internal/core"
 	"partminer/internal/datagen"
 	"partminer/internal/dfscode"
@@ -302,6 +304,88 @@ func BenchPartMinerK2(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchClusterMine runs the full PartMiner pipeline with unit mining
+// sharded over an in-process three-worker cluster (real RPC over
+// loopback): database serialization, consistent-hash routing, remote
+// Gaston mines (warm cache hits after the first iteration — the
+// steady-state fold cost), and the local merge-join. The
+// reassigned-units metric reports how many of the K units a single
+// worker death would move — the consistent-hashing churn bound, which
+// must stay within ceil(K/W)+1.
+func BenchClusterMine(b *testing.B) {
+	db, sup := MicroDB(), MicroSupport()
+	const workers, K = 3, 4
+
+	coord := cluster.NewCoordinator(cluster.Config{HeartbeatInterval: time.Minute})
+	defer coord.Close()
+	cl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	go coord.Serve(cl) //nolint:errcheck // returns when the listener closes
+	ids := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		ids[i] = fmt.Sprintf("bench-worker-%d", i)
+		w := cluster.NewWorker(ids[i])
+		wl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wl.Close()
+		w.Advertise = wl.Addr().String()
+		go w.Serve(wl) //nolint:errcheck // returns when the listener closes
+		if err := w.Join(cl.Addr().String()); err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+	}
+
+	opts := core.Options{MinSupport: sup, K: K, UnitMinerIndexed: coord.MineUnit}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.PartMiner(db, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Degraded) > 0 {
+			b.Fatalf("degraded units with a healthy fleet: %v", res.Degraded)
+		}
+	}
+	b.StopTimer()
+	if lm := coord.Counters().LocalMines; lm != 0 {
+		b.Fatalf("%d unit mines fell back locally", lm)
+	}
+
+	// Reassignment churn: rebuild the same membership on a bare ring and
+	// remove one worker; only that worker's units may move, and no more
+	// than the ceil(K/W)+1 balance bound.
+	ring := cluster.NewRing(0)
+	for _, id := range ids {
+		ring.Add(id)
+	}
+	before := make(map[string]string, K)
+	for i := 0; i < K; i++ {
+		before[cluster.UnitKey(i)], _ = ring.Owner(cluster.UnitKey(i))
+	}
+	ring.Remove(ids[0])
+	moved := 0
+	for i := 0; i < K; i++ {
+		key := cluster.UnitKey(i)
+		if after, _ := ring.Owner(key); after != before[key] {
+			if before[key] != ids[0] {
+				b.Fatalf("unit %s moved although its owner %s survived", key, before[key])
+			}
+			moved++
+		}
+	}
+	if bound := (K+workers-1)/workers + 1; moved > bound {
+		b.Fatalf("one death moved %d units; churn bound is %d", moved, bound)
+	}
+	b.ReportMetric(float64(moved), "reassigned-units")
 }
 
 // BenchServeUpdateBatch measures PartServe's update-batch fold end to
@@ -624,6 +708,7 @@ func Micros() []Micro {
 		{"BenchmarkPlannedFind", BenchPlannedFind},
 		{"BenchmarkBatchedContains", BenchBatchedContains},
 		{"BenchmarkServeUpdateBatch", BenchServeUpdateBatch},
+		{"BenchmarkClusterMine", BenchClusterMine},
 		{"BenchmarkTraceOverhead", BenchTraceOverhead},
 	}
 	for _, name := range partition.Names() {

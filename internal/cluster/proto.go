@@ -1,0 +1,130 @@
+package cluster
+
+// proto.go: the wire types of the two cluster RPC services.
+//
+//   - "Coordinator" (exposed by the coordinator, called by workers):
+//     Register, Heartbeat.
+//   - "Shard" (exposed by every worker, called by the coordinator):
+//     MineUnit, StoreSnapshot, TopK, Contains, Status.
+//
+// Like internal/remote, payloads travel in the repository's text
+// formats — gSpan databases, pattern.WriteSet pattern sets, SaveSnapshot
+// snapshots — so every message is inspectable with a pager.
+
+// RegisterArgs announces a worker to the coordinator.
+type RegisterArgs struct {
+	// ID is the worker's stable identity — the string hashed onto the
+	// ring. A worker that restarts under the same ID reclaims exactly its
+	// old units (ring positions are a pure function of the ID).
+	ID string
+	// Addr is the worker's advertised "host:port" for Shard RPCs.
+	Addr string
+}
+
+// RegisterReply acknowledges a registration.
+type RegisterReply struct {
+	// Members is the fleet size after the registration.
+	Members int
+}
+
+// HeartbeatArgs is a worker liveness beacon.
+type HeartbeatArgs struct {
+	ID string
+	// Mined and WarmHits let the coordinator surface per-worker progress
+	// in /v1/cluster without a separate status poll.
+	Mined    int64
+	WarmHits int64
+}
+
+// HeartbeatReply acknowledges a heartbeat.
+type HeartbeatReply struct {
+	// Known is false when the coordinator does not know the ID (it
+	// restarted, or the worker was expelled); the worker must re-register.
+	Known bool
+}
+
+// MineUnitArgs ships one partition unit to its owning worker.
+type MineUnitArgs struct {
+	// UnitKey is the unit's ring identity ("unit-<i>"); the worker's warm
+	// cache is keyed by it, so re-mining an unchanged unit is a cache hit.
+	UnitKey string
+	// DBText is the unit database in the gSpan text format.
+	DBText []byte
+	// MinSupport and MaxEdges configure the unit mine.
+	MinSupport int
+	MaxEdges   int
+	// FreeTreeEngine selects Gaston's free-tree engine.
+	FreeTreeEngine bool
+	// DeadlineUnixMilli bounds the remote mine (Unix ms; 0 = none).
+	DeadlineUnixMilli int64
+}
+
+// MineUnitReply carries the unit's frequent patterns.
+type MineUnitReply struct {
+	// SetText is the pattern set in the pattern.WriteSet format.
+	SetText []byte
+	// Warm reports that the reply came from the worker's unit cache
+	// without re-mining (same unit key, same database, same parameters).
+	Warm bool
+}
+
+// StoreSnapshotArgs replicates a mined serving snapshot to a worker.
+type StoreSnapshotArgs struct {
+	// SnapshotText is the core.SaveSnapshot serialization (database +
+	// result); the worker rebuilds its replica read path from it.
+	SnapshotText []byte
+	// Epoch is the coordinator's epoch for this snapshot; replies to
+	// replica reads echo it so callers can detect stale replicas.
+	Epoch uint64
+}
+
+// StoreSnapshotReply acknowledges a replication.
+type StoreSnapshotReply struct {
+	// Patterns is the replica's pattern count after loading — a cheap
+	// end-to-end check that the snapshot survived the trip.
+	Patterns int
+}
+
+// TopKArgs asks a replica for its top-k patterns by support.
+type TopKArgs struct {
+	K        int
+	MinEdges int
+	MaxEdges int
+}
+
+// PatternInfo is one pattern in a replica read reply.
+type PatternInfo struct {
+	Key     string
+	Support int
+	Size    int
+}
+
+// TopKReply is the replica's answer plus the epoch it answered from.
+type TopKReply struct {
+	Epoch    uint64
+	Patterns []PatternInfo
+}
+
+// ContainsArgs asks a replica which database graphs contain a query.
+type ContainsArgs struct {
+	// QueryText is one graph in the gSpan text format.
+	QueryText []byte
+}
+
+// ContainsReply is the replica's containment answer.
+type ContainsReply struct {
+	Epoch   uint64
+	Support int
+	TIDs    []int
+}
+
+// StatusArgs requests a worker's self-report.
+type StatusArgs struct{}
+
+// StatusReply is a worker's self-report.
+type StatusReply struct {
+	ID            string
+	Mined         int64
+	WarmHits      int64
+	SnapshotEpoch uint64
+}

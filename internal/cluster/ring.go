@@ -1,0 +1,168 @@
+// Package cluster is the distributed deployment of the PartMiner stack:
+// a coordinator that owns the partition tree, the merge-join, and the
+// serving snapshot, plus a fleet of workers that mine partition units
+// and hold snapshot replicas. The paper's sup/k decomposition makes the
+// k units independent after Phase 1 ("PartMiner is inherently parallel
+// in nature", §1), so the unit is the shard: each unit id is placed on a
+// consistent-hash ring of registered workers, the owning worker mines
+// it (with a warm cache keyed by the unit's database content), and when
+// a worker misses its heartbeats the ring routes only that worker's
+// units to their next owners, where they are re-mined. Exactness is
+// never at stake — unit results are accelerators for the merge-join, so
+// a fully dead fleet degrades to local mining, surfaced per unit in
+// core.Result.Degraded.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per ring member. More vnodes
+// smooth the key distribution (tightening the ceil(K/W)+1 churn bound on
+// a single member failure) at the cost of a larger sorted point list;
+// 384 keeps a 4-worker ring balanced to ceil(K/W)+1 at K=16, so a single
+// failure re-mines at most that many units.
+const DefaultVnodes = 384
+
+// point is one virtual node: a hash position owned by a member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Keys (unit ids,
+// snapshot names) hash to the first point clockwise; removing a member
+// moves only the keys that member owned — the property that bounds
+// re-mining churn to the dead worker's own units. Safe for concurrent
+// use; mutation rebuilds the point list (membership changes are rare
+// next to lookups).
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]struct{}
+	points  []point // sorted by (hash, member)
+}
+
+// NewRing returns an empty ring; vnodes <= 0 selects DefaultVnodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV alone avalanches poorly on near-identical short keys like
+	// "unit-0".."unit-15", clumping them onto one arc; a splitmix64
+	// finalizer spreads them over the whole ring.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, point{hashKey(fmt.Sprintf("%s#%d", member, v)), member})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Remove deletes a member (idempotent). Keys it owned fall through to
+// the next member clockwise; no other key moves.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner returns the member owning key (the first point clockwise from
+// the key's hash); ok is false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct members clockwise from key's hash:
+// the primary owner first, then the failover/replica order. Fewer than
+// n members yields all of them.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		out = append(out, m)
+	}
+	return out
+}
+
+// UnitKey is the ring key for partition unit i — the stable identity
+// workers shard on, independent of the unit database's content.
+func UnitKey(i int) string { return fmt.Sprintf("unit-%d", i) }

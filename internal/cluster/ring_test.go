@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func ringWith(members ...string) *Ring {
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func assignment(r *Ring, k int) map[string]string {
+	out := make(map[string]string, k)
+	for i := 0; i < k; i++ {
+		owner, ok := r.Owner(UnitKey(i))
+		if !ok {
+			panic("empty ring")
+		}
+		out[UnitKey(i)] = owner
+	}
+	return out
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Owner("unit-0"); ok {
+		t.Error("empty ring must own nothing")
+	}
+	if got := r.Owners("unit-0", 2); got != nil {
+		t.Errorf("Owners on empty ring = %v; want nil", got)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := ringWith("w1", "w2", "w3")
+	b := ringWith("w3", "w1", "w2") // insertion order must not matter
+	for i := 0; i < 32; i++ {
+		oa, _ := a.Owner(UnitKey(i))
+		ob, _ := b.Owner(UnitKey(i))
+		if oa != ob {
+			t.Fatalf("unit %d: %s vs %s — ring depends on insertion order", i, oa, ob)
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := ringWith("w1", "w2", "w3")
+	owners := r.Owners("snapshot", 3)
+	if len(owners) != 3 {
+		t.Fatalf("Owners = %v; want 3 distinct members", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %s in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	// Asking for more members than exist returns all of them, once each.
+	if got := r.Owners("snapshot", 10); len(got) != 3 {
+		t.Fatalf("Owners(10) = %v; want 3", got)
+	}
+	// The primary owner is stable across Owners widths.
+	one, _ := r.Owner("snapshot")
+	if owners[0] != one {
+		t.Errorf("Owners[0] = %s; Owner = %s", owners[0], one)
+	}
+}
+
+// TestRingOnlyDeadUnitsMove is the structural consistent-hashing
+// property the failover design rests on: removing one member reassigns
+// exactly the units that member owned, and nothing else.
+func TestRingOnlyDeadUnitsMove(t *testing.T) {
+	const K, W = 16, 4
+	members := []string{"worker-0", "worker-1", "worker-2", "worker-3"}
+	for _, dead := range members {
+		r := ringWith(members...)
+		before := assignment(r, K)
+		r.Remove(dead)
+		after := assignment(r, K)
+		moved := 0
+		for key, was := range before {
+			now := after[key]
+			if was == dead {
+				moved++
+				if now == dead {
+					t.Fatalf("unit %s still assigned to removed member %s", key, dead)
+				}
+				continue
+			}
+			if now != was {
+				t.Errorf("unit %s moved %s -> %s though %s was not its owner", key, was, now, dead)
+			}
+		}
+		// Churn is bounded by the dead member's own share: with a balanced
+		// ring that is at most ceil(K/W)+1 units on a single failure.
+		if bound := (K+W-1)/W + 1; moved > bound {
+			t.Errorf("removing %s moved %d units; want <= %d", dead, moved, bound)
+		}
+	}
+}
+
+// TestRingBalance pins the vnode count's job: a 4-member ring spreads 16
+// units with no member owning more than ceil(K/W)+1.
+func TestRingBalance(t *testing.T) {
+	const K, W = 16, 4
+	r := ringWith("worker-0", "worker-1", "worker-2", "worker-3")
+	load := map[string]int{}
+	for _, owner := range assignment(r, K) {
+		load[owner]++
+	}
+	bound := (K+W-1)/W + 1
+	for m, n := range load {
+		if n > bound {
+			t.Errorf("member %s owns %d of %d units; want <= %d (load %v)", m, n, K, bound, load)
+		}
+	}
+}
+
+// TestRingRejoinRestoresAssignment: a member that dies and re-registers
+// gets exactly its old units back (the hash positions are a pure
+// function of the member id).
+func TestRingRejoinRestoresAssignment(t *testing.T) {
+	members := []string{"worker-0", "worker-1", "worker-2"}
+	r := ringWith(members...)
+	before := assignment(r, 24)
+	r.Remove("worker-1")
+	r.Add("worker-1")
+	after := assignment(r, 24)
+	for key, was := range before {
+		if after[key] != was {
+			t.Errorf("unit %s: %s before death, %s after rejoin", key, was, after[key])
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package cluster
+
+// worker.go: the worker half of the cluster. A Worker serves the
+// "Shard" RPC service (unit mining with a warm per-unit cache, snapshot
+// replica storage, replica reads) and runs the client half of the
+// membership protocol: Join registers with the coordinator and sends
+// heartbeats until Close.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partminer/internal/core"
+	"partminer/internal/gaston"
+	"partminer/internal/graph"
+	"partminer/internal/index"
+	"partminer/internal/pattern"
+	"partminer/internal/query"
+	"partminer/internal/remote"
+)
+
+// DefaultHeartbeat is the worker heartbeat period when none is set.
+const DefaultHeartbeat = 2 * time.Second
+
+// warmEntry caches one unit's mined pattern set: if the same unit key
+// comes back with the same database and parameters (fingerprint), the
+// worker answers without re-mining. One entry per unit key bounds the
+// cache at the partition width.
+type warmEntry struct {
+	fingerprint uint64
+	setText     []byte
+}
+
+// replicaState is a loaded snapshot replica: the database, its result,
+// and a containment index, ready to answer TopK/Contains reads.
+type replicaState struct {
+	epoch  uint64
+	db     graph.Database
+	res    *core.Result
+	search *query.Index
+}
+
+// Worker mines partition units shipped by the coordinator and holds
+// snapshot replicas. Configure the exported fields, then Serve (RPC) and
+// Join (membership); Close stops the heartbeat loop.
+type Worker struct {
+	// ID is the worker's stable ring identity. A restarted worker that
+	// keeps its ID reclaims exactly its old units.
+	ID string
+	// Advertise is the "host:port" workers hand to the coordinator for
+	// Shard RPCs (the listener address in tests, a routable address in
+	// deployments).
+	Advertise string
+	// Heartbeat is the beacon period; 0 selects DefaultHeartbeat.
+	Heartbeat time.Duration
+
+	// Mined counts units mined (cache hits excluded); WarmHits counts
+	// cache answers.
+	Mined    atomic.Int64
+	WarmHits atomic.Int64
+
+	mu      sync.Mutex
+	warm    map[string]warmEntry
+	replica *replicaState
+
+	connMu    sync.Mutex
+	liveConns map[net.Conn]struct{}
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	coord    *remote.Conn
+}
+
+// NewWorker returns a worker with the given ring identity.
+func NewWorker(id string) *Worker {
+	return &Worker{
+		ID:        id,
+		warm:      make(map[string]warmEntry),
+		liveConns: make(map[net.Conn]struct{}),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Serve exposes the Shard service on l until the listener closes.
+func (w *Worker) Serve(l net.Listener) error {
+	if w.Advertise == "" {
+		w.Advertise = l.Addr().String()
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Shard", &shardService{w}); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		w.connMu.Lock()
+		w.liveConns[conn] = struct{}{}
+		w.connMu.Unlock()
+		go func() {
+			srv.ServeConn(conn)
+			w.connMu.Lock()
+			delete(w.liveConns, conn)
+			w.connMu.Unlock()
+		}()
+	}
+}
+
+// Sever drops every live Shard connection. Combined with closing the
+// listener this is a process kill as the coordinator sees it: in-flight
+// calls fail at the connection level and redials are refused. Tests use
+// it to simulate SIGKILL inside one process.
+func (w *Worker) Sever() {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	for conn := range w.liveConns {
+		conn.Close()
+	}
+}
+
+// Join registers with the coordinator at coordAddr and starts the
+// heartbeat loop. The connection redials lazily, so a coordinator
+// restart only costs missed beats, and an unknown-ID reply triggers
+// re-registration (the coordinator lost its membership state).
+func (w *Worker) Join(coordAddr string) error {
+	w.coord = remote.NewConn(coordAddr)
+	if err := w.register(); err != nil {
+		return err
+	}
+	interval := w.Heartbeat
+	if interval <= 0 {
+		interval = DefaultHeartbeat
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				w.beat()
+			}
+		}
+	}()
+	return nil
+}
+
+func (w *Worker) register() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var reply RegisterReply
+	args := RegisterArgs{ID: w.ID, Addr: w.Advertise}
+	return w.coord.Call(ctx, "Coordinator.Register", args, &reply, nil)
+}
+
+func (w *Worker) beat() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	args := HeartbeatArgs{ID: w.ID, Mined: w.Mined.Load(), WarmHits: w.WarmHits.Load()}
+	var reply HeartbeatReply
+	if err := w.coord.Call(ctx, "Coordinator.Heartbeat", args, &reply, nil); err != nil {
+		return // coordinator unreachable; the Conn redials on the next beat
+	}
+	if !reply.Known {
+		w.register() //nolint:errcheck // retried on the next beat
+	}
+}
+
+// Close stops the heartbeat loop and releases the coordinator
+// connection. The Shard listener is owned by the caller.
+func (w *Worker) Close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.wg.Wait()
+	if w.coord != nil {
+		w.coord.Close()
+	}
+}
+
+// unitFingerprint digests a mine request's inputs — database text and
+// parameters — so the warm cache can prove a request identical.
+func unitFingerprint(args *MineUnitArgs) uint64 {
+	h := fnv.New64a()
+	h.Write(args.DBText)
+	fmt.Fprintf(h, "|%d|%d|%t", args.MinSupport, args.MaxEdges, args.FreeTreeEngine)
+	return h.Sum64()
+}
+
+// mineUnit answers one unit mine, from the warm cache when the unit is
+// unchanged since its last mine here.
+func (w *Worker) mineUnit(args MineUnitArgs, reply *MineUnitReply) error {
+	fp := unitFingerprint(&args)
+	if args.UnitKey != "" {
+		w.mu.Lock()
+		if e, ok := w.warm[args.UnitKey]; ok && e.fingerprint == fp {
+			reply.SetText = e.setText
+			reply.Warm = true
+			w.mu.Unlock()
+			w.WarmHits.Add(1)
+			return nil
+		}
+		w.mu.Unlock()
+	}
+
+	db, err := graph.ReadDatabase(bytes.NewReader(args.DBText))
+	if err != nil {
+		return fmt.Errorf("cluster: parse unit database: %w", err)
+	}
+	ctx := context.Background()
+	if args.DeadlineUnixMilli > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(args.DeadlineUnixMilli))
+		defer cancel()
+	}
+	engine := gaston.EngineDFSCode
+	if args.FreeTreeEngine {
+		engine = gaston.EngineFreeTree
+	}
+	set, err := gaston.MineContext(ctx, db, gaston.Options{
+		MinSupport: args.MinSupport,
+		MaxEdges:   args.MaxEdges,
+		Engine:     engine,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: mine unit: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := pattern.WriteSet(&buf, set); err != nil {
+		return fmt.Errorf("cluster: serialize patterns: %w", err)
+	}
+	reply.SetText = buf.Bytes()
+	if args.UnitKey != "" {
+		w.mu.Lock()
+		w.warm[args.UnitKey] = warmEntry{fingerprint: fp, setText: reply.SetText}
+		w.mu.Unlock()
+	}
+	w.Mined.Add(1)
+	return nil
+}
+
+// storeSnapshot loads a replicated serving snapshot and builds the
+// replica read path (feature index + containment index) from it.
+func (w *Worker) storeSnapshot(args StoreSnapshotArgs, reply *StoreSnapshotReply) error {
+	db, res, err := core.LoadSnapshot(bytes.NewReader(args.SnapshotText))
+	if err != nil {
+		return fmt.Errorf("cluster: load replica snapshot: %w", err)
+	}
+	fx := index.Build(db)
+	search := query.IndexFromPatterns(db, fx, res.Patterns, query.IndexOptions{})
+	w.mu.Lock()
+	w.replica = &replicaState{epoch: args.Epoch, db: db, res: res, search: search}
+	w.mu.Unlock()
+	reply.Patterns = len(res.Patterns)
+	return nil
+}
+
+// getReplica returns the current replica or an error when none is held.
+func (w *Worker) getReplica() (*replicaState, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.replica == nil {
+		return nil, fmt.Errorf("cluster: worker %s holds no snapshot replica", w.ID)
+	}
+	return w.replica, nil
+}
+
+// topK answers a replica pattern read in the snapshot's total order
+// (support descending, canonical key ascending — the same order the
+// coordinator's own /v1/patterns uses, so replica reads are
+// indistinguishable modulo epoch).
+func (w *Worker) topK(args TopKArgs, reply *TopKReply) error {
+	rep, err := w.getReplica()
+	if err != nil {
+		return err
+	}
+	out := make([]PatternInfo, 0, len(rep.res.Patterns))
+	for key, p := range rep.res.Patterns {
+		if p.Size() < args.MinEdges || (args.MaxEdges > 0 && p.Size() > args.MaxEdges) {
+			continue
+		}
+		out = append(out, PatternInfo{Key: key, Support: p.Support, Size: p.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Key < out[j].Key
+	})
+	if args.K > 0 && len(out) > args.K {
+		out = out[:args.K]
+	}
+	reply.Epoch = rep.epoch
+	reply.Patterns = out
+	return nil
+}
+
+// contains answers a replica containment read.
+func (w *Worker) contains(args ContainsArgs, reply *ContainsReply) error {
+	rep, err := w.getReplica()
+	if err != nil {
+		return err
+	}
+	qdb, err := graph.ReadDatabase(bytes.NewReader(args.QueryText))
+	if err != nil || len(qdb) != 1 {
+		return fmt.Errorf("cluster: contains wants exactly one query graph")
+	}
+	tids, _ := rep.search.Find(qdb[0])
+	reply.Epoch = rep.epoch
+	reply.Support = len(tids)
+	reply.TIDs = tids
+	return nil
+}
+
+// SnapshotEpoch reports the epoch of the held replica (0 = none), for
+// tests and status.
+func (w *Worker) SnapshotEpoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.replica == nil {
+		return 0
+	}
+	return w.replica.epoch
+}
+
+// shardService is the net/rpc receiver: a separate type so only the RPC
+// methods are exported to the wire (registering Worker itself would spam
+// "wrong number of ins" warnings for Serve/Join/Close).
+type shardService struct{ w *Worker }
+
+func (s *shardService) MineUnit(args MineUnitArgs, reply *MineUnitReply) error {
+	return s.w.mineUnit(args, reply)
+}
+
+func (s *shardService) StoreSnapshot(args StoreSnapshotArgs, reply *StoreSnapshotReply) error {
+	return s.w.storeSnapshot(args, reply)
+}
+
+func (s *shardService) TopK(args TopKArgs, reply *TopKReply) error {
+	return s.w.topK(args, reply)
+}
+
+func (s *shardService) Contains(args ContainsArgs, reply *ContainsReply) error {
+	return s.w.contains(args, reply)
+}
+
+func (s *shardService) Status(args StatusArgs, reply *StatusReply) error {
+	reply.ID = s.w.ID
+	reply.Mined = s.w.Mined.Load()
+	reply.WarmHits = s.w.WarmHits.Load()
+	reply.SnapshotEpoch = s.w.SnapshotEpoch()
+	return nil
+}

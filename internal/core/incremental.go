@@ -150,7 +150,7 @@ func IncMineContext(ctx context.Context, newDB graph.Database, updatedTIDs []int
 		defer endUnit()
 		uctx = obs.ObserverInContext(uctx, o)
 		t0 := time.Now()
-		set, uerr := opts.unitMiner()(uctx, newLeaves[i].DB, ceilDiv(opts.MinSupport, opts.K), opts.classicMaxEdges())
+		set, uerr := opts.mineUnit(uctx, i, newLeaves[i].DB, ceilDiv(opts.MinSupport, opts.K), opts.classicMaxEdges())
 		if set == nil {
 			set = make(pattern.Set)
 		}

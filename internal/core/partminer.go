@@ -45,6 +45,14 @@ import (
 // unit results, only slower — and is surfaced in Result.Degraded.
 type UnitMiner func(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error)
 
+// IndexedUnitMiner is a UnitMiner that also receives the unit's index in
+// the partition (0..K-1). Sharded deployments need the index as a stable
+// identity: internal/cluster hashes "unit-<i>" onto its consistent-hash
+// ring to pick the owning worker, so the same unit lands on the same
+// worker across epochs and warm per-unit state can be reused. The
+// correctness contract is identical to UnitMiner.
+type IndexedUnitMiner func(ctx context.Context, unit int, db graph.Database, minSup, maxEdges int) (pattern.Set, error)
+
 // GastonMiner is the default unit miner (the paper's choice, §4.2).
 func GastonMiner(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
 	return gaston.MineContext(ctx, db, gaston.Options{MinSupport: minSup, MaxEdges: maxEdges})
@@ -106,6 +114,10 @@ type Options struct {
 	StrictPaperJoin bool
 	// UnitMiner overrides the per-unit mining algorithm; default Gaston.
 	UnitMiner UnitMiner
+	// UnitMinerIndexed, when non-nil, takes precedence over UnitMiner and
+	// additionally receives the unit index — the identity sharded
+	// deployments (internal/cluster) hash to route the unit to its owner.
+	UnitMinerIndexed IndexedUnitMiner
 	// Observer, when non-nil, receives stage timings ("partition",
 	// "unit.<i>", "units", "merge", "merge.<path>") and work counters
 	// from every layer of the run. exec.Collector is a ready-made
@@ -153,6 +165,17 @@ func (o Options) unitMiner() UnitMiner {
 		return GastonMiner
 	}
 	return o.UnitMiner
+}
+
+// mineUnit runs the effective unit miner on unit i, preferring the
+// indexed variant when configured. Both the initial mine and incremental
+// re-mines go through here so sharded deployments see every unit mine
+// with its identity attached.
+func (o Options) mineUnit(ctx context.Context, i int, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
+	if o.UnitMinerIndexed != nil {
+		return o.UnitMinerIndexed(ctx, i, db, minSup, maxEdges)
+	}
+	return o.unitMiner()(ctx, db, minSup, maxEdges)
 }
 
 // pool builds the run's shared execution pool: a real bounded pool in
@@ -399,7 +422,7 @@ func MineContext(ctx context.Context, db graph.Database, opts Options) (*Result,
 		defer endUnit()
 		uctx = obs.ObserverInContext(uctx, o)
 		t0 := time.Now()
-		set, err := opts.unitMiner()(uctx, leaves[i].DB, res.UnitSupport, opts.classicMaxEdges())
+		set, err := opts.mineUnit(uctx, i, leaves[i].DB, res.UnitSupport, opts.classicMaxEdges())
 		if set == nil {
 			set = make(pattern.Set)
 		}

@@ -12,6 +12,23 @@ import (
 	"partminer/internal/pattern"
 )
 
+// Portable returns a shallow copy of the result with the
+// non-serializable function options (UnitMiner, UnitMinerIndexed,
+// Observer) stripped, so a result mined through a custom miner — a
+// remote.Pool, a cluster coordinator — can still be saved with
+// SaveResult/SaveSnapshot. The stripped copy loads as if it had been
+// mined with the built-in Gaston miner, which is exactly right: the
+// patterns are identical by the exactness contract, only the route that
+// produced them differed. The pattern sets and tree are shared, not
+// copied — treat the receiver as read-only afterwards.
+func (res *Result) Portable() *Result {
+	cp := *res
+	cp.Options.UnitMiner = nil
+	cp.Options.UnitMinerIndexed = nil
+	cp.Options.Observer = nil
+	return &cp
+}
+
 // SaveResult serializes a mining result so that incremental mining can
 // resume in a later process (the paper's dynamic-environment scenario
 // rarely fits one process lifetime). The partition tree itself is not
@@ -25,7 +42,7 @@ func SaveResult(w io.Writer, res *Result) error {
 	if err != nil {
 		return err
 	}
-	if res.Options.UnitMiner != nil {
+	if res.Options.UnitMiner != nil || res.Options.UnitMinerIndexed != nil {
 		return fmt.Errorf("core: results with a custom UnitMiner cannot be saved")
 	}
 	bw := bufio.NewWriter(w)

@@ -1,0 +1,96 @@
+package exec
+
+// errcap.go: bounded error recording for long degraded runs. A fleet
+// that loses a worker can fail thousands of unit RPCs before an operator
+// intervenes; recording every error verbatim grows memory without bound.
+// ErrCap keeps the head (the errors that explain how degradation began)
+// and a rolling tail (the most recent failures), and counts everything
+// in between.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DefaultErrCap is the per-end retention of NewErrCap(0): the first 8
+// and the most recent 8 errors survive verbatim.
+const DefaultErrCap = 8
+
+// ErrCap is a bounded error accumulator: the first keep errors and the
+// last keep errors are retained verbatim, everything in between is
+// counted and summarized. Safe for concurrent use; the zero value is NOT
+// ready — use NewErrCap.
+type ErrCap struct {
+	mu      sync.Mutex
+	keep    int
+	first   []error
+	last    []error // ring of the most recent errors once first is full
+	lastPos int     // next write position in last
+	lastLen int
+	total   int64
+}
+
+// NewErrCap returns a recorder keeping the first keep and last keep
+// errors; keep <= 0 selects DefaultErrCap.
+func NewErrCap(keep int) *ErrCap {
+	if keep <= 0 {
+		keep = DefaultErrCap
+	}
+	return &ErrCap{keep: keep}
+}
+
+// Add records one error; nil errors are ignored.
+func (c *ErrCap) Add(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if len(c.first) < c.keep {
+		c.first = append(c.first, err)
+		return
+	}
+	if c.last == nil {
+		c.last = make([]error, c.keep)
+	}
+	c.last[c.lastPos] = err
+	c.lastPos = (c.lastPos + 1) % c.keep
+	if c.lastLen < c.keep {
+		c.lastLen++
+	}
+}
+
+// Total returns how many errors have been recorded, including the
+// summarized middle.
+func (c *ErrCap) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Err joins the retained errors: the first errors, a summary line for
+// the elided middle (when any), and the most recent errors, oldest
+// first. Nil when nothing was recorded.
+func (c *ErrCap) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.total == 0 {
+		return nil
+	}
+	errs := append([]error(nil), c.first...)
+	if elided := c.total - int64(len(c.first)) - int64(c.lastLen); elided > 0 {
+		errs = append(errs, fmt.Errorf("... %d more errors elided ...", elided))
+	}
+	// The ring holds the last lastLen errors; oldest sits at lastPos when
+	// full, at 0 otherwise.
+	start := 0
+	if c.lastLen == c.keep {
+		start = c.lastPos
+	}
+	for i := 0; i < c.lastLen; i++ {
+		errs = append(errs, c.last[(start+i)%c.keep])
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestErrCapEmpty(t *testing.T) {
+	c := NewErrCap(4)
+	if c.Err() != nil {
+		t.Fatal("empty cap must yield nil")
+	}
+	c.Add(nil)
+	if c.Err() != nil || c.Total() != 0 {
+		t.Fatal("nil errors must not be recorded")
+	}
+}
+
+func TestErrCapUnderLimit(t *testing.T) {
+	c := NewErrCap(4)
+	e1, e2 := errors.New("one"), errors.New("two")
+	c.Add(e1)
+	c.Add(e2)
+	err := c.Err()
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("joined error lost members: %v", err)
+	}
+	if strings.Contains(err.Error(), "elided") {
+		t.Fatalf("nothing should be elided under the limit: %v", err)
+	}
+}
+
+func TestErrCapElidesMiddle(t *testing.T) {
+	c := NewErrCap(3)
+	for i := 0; i < 100; i++ {
+		c.Add(fmt.Errorf("err-%d", i))
+	}
+	if c.Total() != 100 {
+		t.Fatalf("Total = %d; want 100", c.Total())
+	}
+	msg := c.Err().Error()
+	// First 3 and last 3 survive verbatim; 94 are summarized.
+	for _, want := range []string{"err-0", "err-1", "err-2", "err-97", "err-98", "err-99", "94 more errors elided"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error missing %q:\n%s", want, msg)
+		}
+	}
+	for _, lost := range []string{"err-3\n", "err-50\n", "err-96\n"} {
+		if strings.Contains(msg, lost) {
+			t.Errorf("middle error %q should have been elided", lost)
+		}
+	}
+	// Memory stays bounded: 2*keep retained errors regardless of volume.
+	if n := len(c.first) + len(c.last); n > 6 {
+		t.Errorf("retained %d errors; want <= 6", n)
+	}
+}
+
+func TestErrCapTailOrder(t *testing.T) {
+	c := NewErrCap(2)
+	for i := 0; i < 7; i++ {
+		c.Add(fmt.Errorf("err-%d", i))
+	}
+	msg := c.Err().Error()
+	// Tail must read oldest-first: err-5 before err-6.
+	if strings.Index(msg, "err-5") > strings.Index(msg, "err-6") {
+		t.Fatalf("tail out of order:\n%s", msg)
+	}
+}
+
+func TestErrCapConcurrent(t *testing.T) {
+	c := NewErrCap(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Add(fmt.Errorf("g%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Total() != 400 {
+		t.Fatalf("Total = %d; want 400", c.Total())
+	}
+	if c.Err() == nil {
+		t.Fatal("expected joined error")
+	}
+}

@@ -113,37 +113,157 @@ func Serve(l net.Listener) error {
 	}
 }
 
+// Conn is one managed worker connection: it dials lazily, and a call
+// that fails at the connection level (rpc.ErrShutdown after the worker
+// restarts, a dropped TCP session, a gob decode error) discards the dead
+// client so the next use redials instead of failing forever. Successful
+// redials are counted as "remote.redial". Safe for concurrent use —
+// net/rpc clients multiplex concurrent calls over one connection.
+type Conn struct {
+	// Addr is the worker's "host:port" address.
+	Addr string
+
+	mu        sync.Mutex
+	client    *rpc.Client
+	connected bool // a dial has succeeded at least once (redial accounting)
+}
+
+// NewConn returns a lazily dialing connection to addr; the first Call
+// establishes the TCP session.
+func NewConn(addr string) *Conn { return &Conn{Addr: addr} }
+
+// DialConn eagerly connects to addr, so unreachable workers fail fast.
+func DialConn(addr string) (*Conn, error) {
+	c := NewConn(addr)
+	if _, err := c.get(nil); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// get returns the live client, dialing when none is held. A successful
+// dial after a previous session counts as remote.redial on o.
+func (c *Conn) get(o exec.Observer) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.client != nil {
+		return c.client, nil
+	}
+	client, err := rpc.Dial("tcp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", c.Addr, err)
+	}
+	if c.connected {
+		exec.Count(o, "remote.redial", 1)
+	}
+	c.client = client
+	c.connected = true
+	return client, nil
+}
+
+// drop discards client if it is still the held one, so exactly one
+// goroutine pays for the close and concurrent callers do not discard a
+// fresh replacement.
+func (c *Conn) drop(client *rpc.Client) {
+	c.mu.Lock()
+	if c.client == client {
+		c.client = nil
+	}
+	c.mu.Unlock()
+	client.Close()
+}
+
+// Close releases the held connection (a later Call would redial).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	client := c.client
+	c.client = nil
+	c.mu.Unlock()
+	if client == nil {
+		return nil
+	}
+	return client.Close()
+}
+
+// connError reports whether an RPC error is connection-level (the
+// session is unusable and should be redialed) rather than a service
+// error the worker itself returned.
+func connError(err error) bool {
+	if err == nil {
+		return false
+	}
+	_, serviceErr := err.(rpc.ServerError)
+	return !serviceErr
+}
+
+// Call runs one RPC under ctx: cancellation abandons the in-flight call,
+// a connection-level failure redials once and retries, and every attempt
+// is counted as "remote.rpc" on o. Service errors (the worker ran the
+// method and returned an error) are returned as-is without touching the
+// session.
+func (c *Conn) Call(ctx context.Context, method string, args, reply any, o exec.Observer) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		client, err := c.get(o)
+		if err != nil {
+			// Dialing failed; nothing held to drop, and a second dial in
+			// the same call would fail identically.
+			return err
+		}
+		exec.Count(o, "remote.rpc", 1)
+		done := client.Go(method, args, reply, make(chan *rpc.Call, 1))
+		select {
+		case <-ctx.Done():
+			// net/rpc cannot interrupt an in-flight request; the worker
+			// stops on its own when the shipped deadline expires.
+			return ctx.Err()
+		case call := <-done.Done:
+			if call.Error == nil {
+				return nil
+			}
+			if !connError(call.Error) {
+				return call.Error
+			}
+			c.drop(client)
+			lastErr = call.Error
+		}
+	}
+	return lastErr
+}
+
 // Pool is a client-side set of worker connections that acts as a unit
 // miner: units are assigned to workers round-robin, and with
 // core.Options.Parallel the units run concurrently across the fleet.
 type Pool struct {
-	clients []*rpc.Client
-	addrs   []string
-	next    atomic.Int64
+	conns []*Conn
+	next  atomic.Int64
 	// FreeTreeEngine asks workers to use Gaston's free-tree engine.
 	FreeTreeEngine bool
 	// Observer, when non-nil, receives RPC counters ("remote.rpc",
-	// "remote.rpc_errors", "remote.failover").
+	// "remote.rpc_errors", "remote.failover", "remote.redial").
 	Observer exec.Observer
 
-	mu       sync.Mutex
-	lastErrs []error
+	errs *exec.ErrCap
 }
 
-// Dial connects to every worker address ("host:port").
+// Dial connects to every worker address ("host:port"). The initial dial
+// is eager — a misconfigured fleet fails fast — but connections lost
+// later are redialed lazily on next use.
 func Dial(addrs ...string) (*Pool, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("remote: no worker addresses")
 	}
-	p := &Pool{}
+	p := &Pool{errs: exec.NewErrCap(0)}
 	for _, addr := range addrs {
-		c, err := rpc.Dial("tcp", addr)
+		c, err := DialConn(addr)
 		if err != nil {
 			p.Close()
-			return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+			return nil, err
 		}
-		p.clients = append(p.clients, c)
-		p.addrs = append(p.addrs, addr)
+		p.conns = append(p.conns, c)
 	}
 	return p, nil
 }
@@ -151,10 +271,7 @@ func Dial(addrs ...string) (*Pool, error) {
 // Close releases all worker connections.
 func (p *Pool) Close() error {
 	var first error
-	for _, c := range p.clients {
-		if c == nil {
-			continue
-		}
+	for _, c := range p.conns {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -187,22 +304,22 @@ func (p *Pool) MineUnit(ctx context.Context, db graph.Database, minSup, maxEdges
 		args.DeadlineUnixMilli = dl.UnixMilli()
 	}
 
-	first := int(p.next.Add(1)-1) % len(p.clients)
+	first := int(p.next.Add(1)-1) % len(p.conns)
 	attempts := 2 // the chosen worker plus one failover
-	if attempts > len(p.clients) {
-		attempts = len(p.clients)
+	if attempts > len(p.conns) {
+		attempts = len(p.conns)
 	}
 	var errs []error
 	for a := 0; a < attempts; a++ {
-		i := (first + a) % len(p.clients)
-		set, err := p.call(ctx, i, args, len(db))
+		i := (first + a) % len(p.conns)
+		set, err := p.call(ctx, p.conns[i], args, len(db))
 		if err == nil {
 			if a > 0 {
 				exec.Count(p.Observer, "remote.failover", 1)
 			}
 			return set, nil
 		}
-		errs = append(errs, fmt.Errorf("worker %s: %w", p.addrs[i], err))
+		errs = append(errs, fmt.Errorf("worker %s: %w", p.conns[i].Addr, err))
 		exec.Count(p.Observer, "remote.rpc_errors", 1)
 		if ctx.Err() != nil {
 			break // cancellation fails every worker; stop the round
@@ -213,24 +330,12 @@ func (p *Pool) MineUnit(ctx context.Context, db graph.Database, minSup, maxEdges
 	return make(pattern.Set), err
 }
 
-// call runs one MineUnit RPC against worker i under ctx: cancellation
-// abandons the call (net/rpc cannot interrupt an in-flight request, but
-// the worker stops on its own via the shipped deadline once the
-// coordinator's context carries one).
-func (p *Pool) call(ctx context.Context, i int, args MineUnitArgs, dbLen int) (pattern.Set, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	exec.Count(p.Observer, "remote.rpc", 1)
+// call runs one MineUnit RPC against a worker connection and parses the
+// reply; Conn.Call handles cancellation, deadline shipping, and redial.
+func (p *Pool) call(ctx context.Context, c *Conn, args MineUnitArgs, dbLen int) (pattern.Set, error) {
 	var reply MineUnitReply
-	done := p.clients[i].Go("Miner.MineUnit", args, &reply, make(chan *rpc.Call, 1))
-	select {
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case c := <-done.Done:
-		if c.Error != nil {
-			return nil, c.Error
-		}
+	if err := c.Call(ctx, "Miner.MineUnit", args, &reply, p.Observer); err != nil {
+		return nil, err
 	}
 	set, err := pattern.ReadSet(bytes.NewReader(reply.SetText), dbLen)
 	if err != nil {
@@ -240,17 +345,16 @@ func (p *Pool) call(ctx context.Context, i int, args MineUnitArgs, dbLen int) (p
 }
 
 func (p *Pool) recordErr(err error) {
-	p.mu.Lock()
-	p.lastErrs = append(p.lastErrs, err)
-	p.mu.Unlock()
+	p.errs.Add(err)
 }
 
-// Err returns every error unit mining hit, combined with errors.Join,
-// or nil if the run was clean. Callers check it after a PartMiner run to
-// distinguish "fast path degraded" from "all good"; core.Result.Degraded
-// carries the same information per unit without the side channel.
+// Err returns the errors unit mining hit, combined with errors.Join, or
+// nil if the run was clean. A long degraded run is summarized rather
+// than accumulated: the first and most recent failures survive verbatim,
+// the middle is elided with a count (exec.ErrCap). Callers check it
+// after a PartMiner run to distinguish "fast path degraded" from "all
+// good"; core.Result.Degraded carries the same information per unit
+// without the side channel.
 func (p *Pool) Err() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return errors.Join(p.lastErrs...)
+	return p.errs.Err()
 }

@@ -1,23 +1,31 @@
 package remote
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math/rand"
 	"net"
+	"net/rpc"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"partminer/internal/core"
 	"partminer/internal/exec"
 	"partminer/internal/graph"
 	"partminer/internal/gspan"
+	"partminer/internal/pattern"
 )
 
-// startWorkers spins up n loopback workers and returns their addresses.
-func startWorkers(t *testing.T, n int) []string {
+// startWorkers spins up n loopback workers and returns their addresses
+// plus listeners (close a listener to make that worker unreachable for
+// redials; close the pool's conn too to kill the live session).
+func startWorkers(t *testing.T, n int) ([]string, []net.Listener) {
 	t.Helper()
 	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -26,12 +34,20 @@ func startWorkers(t *testing.T, n int) []string {
 		t.Cleanup(func() { l.Close() })
 		go Serve(l) //nolint:errcheck // returns when the listener closes
 		addrs[i] = l.Addr().String()
+		listeners[i] = l
 	}
-	return addrs
+	return addrs, listeners
+}
+
+// killWorker makes worker i fully dead: no new dials (listener closed)
+// and no live session (conn closed, so the pool must redial — and fail).
+func killWorker(pool *Pool, listeners []net.Listener, i int) {
+	listeners[i].Close()
+	pool.conns[i].Close()
 }
 
 func TestDistributedPartMinerEqualsLocal(t *testing.T) {
-	addrs := startWorkers(t, 2)
+	addrs, _ := startWorkers(t, 2)
 	pool, err := Dial(addrs...)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +71,7 @@ func TestDistributedPartMinerEqualsLocal(t *testing.T) {
 }
 
 func TestDistributedFreeTreeEngine(t *testing.T) {
-	addrs := startWorkers(t, 1)
+	addrs, _ := startWorkers(t, 1)
 	pool, err := Dial(addrs...)
 	if err != nil {
 		t.Fatal(err)
@@ -78,19 +94,13 @@ func TestDistributedFreeTreeEngine(t *testing.T) {
 func TestPoolDegradesGracefully(t *testing.T) {
 	// A worker that dies mid-run: PartMiner still returns the exact
 	// answer (units are accelerators), and the pool records the error.
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go Serve(l) //nolint:errcheck
-	pool, err := Dial(l.Addr().String())
+	addrs, listeners := startWorkers(t, 1)
+	pool, err := Dial(addrs...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	l.Close() // kill the worker's listener; existing conn dies with it? keep conn: close conn instead
-	// Close the client connection to force RPC failures.
-	pool.clients[0].Close()
+	killWorker(pool, listeners, 0)
 
 	rng := rand.New(rand.NewSource(5))
 	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
@@ -110,13 +120,13 @@ func TestPoolDegradesGracefully(t *testing.T) {
 func TestPoolFailsOverToNextWorker(t *testing.T) {
 	// One dead worker in a fleet of two: every unit lands on the healthy
 	// worker after one failover, so nothing degrades.
-	addrs := startWorkers(t, 2)
+	addrs, listeners := startWorkers(t, 2)
 	pool, err := Dial(addrs...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	pool.clients[0].Close()
+	killWorker(pool, listeners, 0)
 	col := &exec.Collector{}
 	pool.Observer = col
 
@@ -141,18 +151,61 @@ func TestPoolFailsOverToNextWorker(t *testing.T) {
 	}
 }
 
-func TestPoolErrJoinsAllErrors(t *testing.T) {
-	// Both workers dead: every unit records a joined two-worker error,
-	// surfaces in Result.Degraded, and the run stays exact (units are
-	// accelerators, not a correctness dependency).
-	addrs := startWorkers(t, 2)
+func TestPoolRedialsDroppedConnection(t *testing.T) {
+	// The worker is healthy but its TCP session drops (rpc.ErrShutdown
+	// on next use). The pool must redial transparently inside the same
+	// call — no failover, no recorded error — and count remote.redial.
+	addrs, _ := startWorkers(t, 1)
 	pool, err := Dial(addrs...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	pool.clients[0].Close()
-	pool.clients[1].Close()
+	col := &exec.Collector{}
+	pool.Observer = col
+
+	// Kill the underlying client without telling the Conn, so the next
+	// call hits rpc.ErrShutdown exactly like a mid-run network drop.
+	c := pool.conns[0]
+	c.mu.Lock()
+	client := c.client
+	c.mu.Unlock()
+	client.Close()
+
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	set, err := pool.MineUnit(context.Background(), graph.Database{g}, 1, 0)
+	if err != nil {
+		t.Fatalf("redial should make the drop invisible: %v", err)
+	}
+	if len(set) == 0 {
+		t.Error("expected mined patterns after redial")
+	}
+	if pool.Err() != nil {
+		t.Errorf("transparent redial must not record errors: %v", pool.Err())
+	}
+	if col.Counters()["remote.redial"] == 0 {
+		t.Error("expected remote.redial > 0")
+	}
+	if col.Counters()["remote.failover"] != 0 {
+		t.Error("redial must not be counted as failover")
+	}
+}
+
+func TestPoolErrJoinsAllErrors(t *testing.T) {
+	// Both workers dead: every unit records a joined two-worker error,
+	// surfaces in Result.Degraded, and the run stays exact (units are
+	// accelerators, not a correctness dependency).
+	addrs, listeners := startWorkers(t, 2)
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	killWorker(pool, listeners, 0)
+	killWorker(pool, listeners, 1)
 
 	rng := rand.New(rand.NewSource(7))
 	db := graph.RandomDatabase(rng, 6, 5, 6, 2, 2)
@@ -178,8 +231,190 @@ func TestPoolErrJoinsAllErrors(t *testing.T) {
 	}
 }
 
+func TestPoolAllWorkersDownReturnsEmptySets(t *testing.T) {
+	// Every MineUnit against a fully dead fleet yields a usable empty
+	// set (not nil) plus an error, and the recorded error list stays
+	// bounded no matter how long the degraded run goes on.
+	addrs, listeners := startWorkers(t, 2)
+	pool, err := Dial(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	killWorker(pool, listeners, 0)
+	killWorker(pool, listeners, 1)
+
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	db := graph.Database{g}
+	for i := 0; i < 3*exec.DefaultErrCap; i++ {
+		set, err := pool.MineUnit(context.Background(), db, 1, 0)
+		if err == nil {
+			t.Fatal("dead fleet must error")
+		}
+		if set == nil || len(set) != 0 {
+			t.Fatalf("degraded set = %v; want empty non-nil", set)
+		}
+	}
+	joined := pool.Err()
+	if joined == nil {
+		t.Fatal("expected joined errors")
+	}
+	if !strings.Contains(joined.Error(), "more errors elided") {
+		t.Errorf("long degraded run should elide the middle: %v", joined)
+	}
+	if got := pool.errs.Total(); got != int64(3*exec.DefaultErrCap) {
+		t.Errorf("Total = %d; want %d", got, 3*exec.DefaultErrCap)
+	}
+}
+
+// captureMiner records the MineUnitArgs it receives and replies with an
+// empty pattern set; it stands in for a worker to inspect the wire.
+type captureMiner struct {
+	mu   sync.Mutex
+	args []MineUnitArgs
+}
+
+func (c *captureMiner) MineUnit(args MineUnitArgs, reply *MineUnitReply) error {
+	c.mu.Lock()
+	c.args = append(c.args, args)
+	c.mu.Unlock()
+	var buf bytes.Buffer
+	if err := pattern.WriteSet(&buf, make(pattern.Set)); err != nil {
+		return err
+	}
+	reply.SetText = buf.Bytes()
+	return nil
+}
+
+// slowMiner blocks until released, simulating a long remote mine.
+type slowMiner struct{ release chan struct{} }
+
+func (s *slowMiner) MineUnit(args MineUnitArgs, reply *MineUnitReply) error {
+	<-s.release
+	var buf bytes.Buffer
+	if err := pattern.WriteSet(&buf, make(pattern.Set)); err != nil {
+		return err
+	}
+	reply.SetText = buf.Bytes()
+	return nil
+}
+
+// serveService exposes one RPC receiver under the Miner service name.
+func serveService(t *testing.T, svc any) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Miner", svc); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestPoolShipsDeadline(t *testing.T) {
+	// The coordinator's context deadline must travel in MineUnitArgs so
+	// the worker bounds its own mine.
+	cap := &captureMiner{}
+	pool, err := Dial(serveService(t, cap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	dl := time.Now().Add(30 * time.Second)
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+	if _, err := pool.MineUnit(ctx, graph.Database{g}, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.args) != 1 {
+		t.Fatalf("worker saw %d calls; want 1", len(cap.args))
+	}
+	if got, want := cap.args[0].DeadlineUnixMilli, dl.UnixMilli(); got != want {
+		t.Errorf("shipped deadline = %d; want %d", got, want)
+	}
+	if cap.args[0].MaxEdges != 5 {
+		t.Errorf("shipped MaxEdges = %d; want 5", cap.args[0].MaxEdges)
+	}
+}
+
+func TestMinerEnforcesShippedDeadline(t *testing.T) {
+	// A worker receiving an already-expired deadline must refuse the
+	// mine with a deadline error rather than running unbounded.
+	var m Miner
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	args := MineUnitArgs{
+		DBText:            encodeDB(t, graph.Database{g}),
+		MinSupport:        1,
+		DeadlineUnixMilli: time.Now().Add(-time.Second).UnixMilli(),
+	}
+	var reply MineUnitReply
+	err := m.MineUnit(args, &reply)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want context.DeadlineExceeded", err)
+	}
+	if m.Mined.Load() != 0 {
+		t.Errorf("expired mine must not count as mined")
+	}
+}
+
+func TestPoolCancellationMidRPC(t *testing.T) {
+	// The worker is stuck mid-call; cancelling the coordinator's context
+	// must abandon the in-flight RPC promptly instead of waiting it out.
+	slow := &slowMiner{release: make(chan struct{})}
+	defer close(slow.release)
+	pool, err := Dial(serveService(t, slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	g := graph.New(0)
+	g.AddVertex(0)
+	g.AddVertex(0)
+	g.MustAddEdge(0, 1, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	set, err := pool.MineUnit(ctx, graph.Database{g}, 1, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want context.DeadlineExceeded", err)
+	}
+	if set == nil || len(set) != 0 {
+		t.Fatalf("cancelled set = %v; want empty non-nil", set)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the call was not abandoned", elapsed)
+	}
+}
+
 func TestPoolMineUnitCancelled(t *testing.T) {
-	addrs := startWorkers(t, 1)
+	addrs, _ := startWorkers(t, 1)
 	pool, err := Dial(addrs...)
 	if err != nil {
 		t.Fatal(err)

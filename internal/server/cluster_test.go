@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"partminer/internal/cluster"
+	"partminer/internal/graph"
+)
+
+// startTestCluster runs an in-process coordinator with n workers joined
+// to it, all torn down with the test.
+func startTestCluster(t *testing.T, n int, cfg cluster.Config) *cluster.Coordinator {
+	t.Helper()
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 50 * time.Millisecond
+	}
+	coord := cluster.NewCoordinator(cfg)
+	t.Cleanup(coord.Close)
+	cl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("coordinator listen: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	go coord.Serve(cl) //nolint:errcheck // returns when the listener closes
+	for i := 0; i < n; i++ {
+		w := cluster.NewWorker(fmt.Sprintf("srv-worker-%d", i))
+		w.Heartbeat = 25 * time.Millisecond
+		wl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d listen: %v", i, err)
+		}
+		w.Advertise = wl.Addr().String()
+		go w.Serve(wl) //nolint:errcheck // returns when the listener closes
+		if err := w.Join(cl.Addr().String()); err != nil {
+			t.Fatalf("worker %d join: %v", i, err)
+		}
+		t.Cleanup(func() { w.Close(); wl.Close() })
+	}
+	return coord
+}
+
+// TestServerClusterMode runs the server in coordinator mode over two
+// in-process workers: unit mining is sharded to the fleet (no local
+// mines), the result stays bit-for-bit exact, published snapshots are
+// replicated, /v1/cluster reports the fleet, and replica reads answer
+// pattern and containment queries with the local answers.
+func TestServerClusterMode(t *testing.T) {
+	coord := startTestCluster(t, 2, cluster.Config{Replicas: 2})
+	db := testDB(11, 10)
+	cfg := testConfig()
+	cfg.Cluster = coord
+	s := mustStart(t, db, cfg)
+
+	requireFreshEqual(t, s.Snapshot(), cfg.Mine)
+	ctrs := coord.Counters()
+	if ctrs.LocalMines != 0 {
+		t.Fatalf("unit mining fell back locally %d times with a healthy fleet", ctrs.LocalMines)
+	}
+	if ctrs.Replications == 0 {
+		t.Fatalf("initial snapshot was not replicated: %+v", ctrs)
+	}
+	st := s.Stats()
+	if st.Cluster == nil || st.Cluster.Alive != 2 {
+		t.Fatalf("Stats().Cluster = %+v, want 2 alive workers", st.Cluster)
+	}
+	if len(st.Cluster.Units) != cfg.Mine.K {
+		t.Fatalf("Stats().Cluster.Units has %d entries, want K=%d", len(st.Cluster.Units), cfg.Mine.K)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ci struct {
+		Alive    int               `json:"alive"`
+		Units    map[string]string `json:"units"`
+		Replicas []string          `json:"replicas"`
+		Counters cluster.Counters  `json:"counters"`
+	}
+	get(t, ts.URL+"/v1/cluster", http.StatusOK, &ci)
+	if ci.Alive != 2 || len(ci.Replicas) != 2 {
+		t.Fatalf("/v1/cluster = %+v, want 2 alive and 2 replicas", ci)
+	}
+	for key, owner := range ci.Units {
+		if owner == "" {
+			t.Fatalf("/v1/cluster: unit %s has no live owner", key)
+		}
+	}
+
+	// Replica pattern read: same keys, supports, and order as the local
+	// snapshot's top-k.
+	var rp struct {
+		Replica  bool   `json:"replica"`
+		Epoch    uint64 `json:"epoch"`
+		Patterns []struct {
+			Key     string `json:"key"`
+			Support int    `json:"support"`
+		} `json:"patterns"`
+	}
+	get(t, ts.URL+"/v1/patterns?replica=1&k=1000", http.StatusOK, &rp)
+	if !rp.Replica {
+		t.Fatalf("?replica=1 answered locally despite live replicas")
+	}
+	local := s.Snapshot().TopKRange(1000, 0, 0)
+	if len(rp.Patterns) != len(local) {
+		t.Fatalf("replica read returned %d patterns, local top-k %d", len(rp.Patterns), len(local))
+	}
+	for i, p := range local {
+		if rp.Patterns[i].Key != p.Code.Key() || rp.Patterns[i].Support != p.Support {
+			t.Fatalf("replica pattern %d = %s/%d, local %s/%d",
+				i, rp.Patterns[i].Key, rp.Patterns[i].Support, p.Code.Key(), p.Support)
+		}
+	}
+
+	// Replica containment read agrees with the local answer.
+	var qb strings.Builder
+	if err := graph.WriteDatabase(&qb, graph.Database{db[0]}); err != nil {
+		t.Fatalf("serialize query: %v", err)
+	}
+	var localAns, replicaAns struct {
+		Support int   `json:"support"`
+		TIDs    []int `json:"tids"`
+	}
+	post(t, ts.URL+"/v1/contains", qb.String(), http.StatusOK, &localAns)
+	post(t, ts.URL+"/v1/contains?replica=1", qb.String(), http.StatusOK, &replicaAns)
+	if localAns.Support != replicaAns.Support || len(localAns.TIDs) != len(replicaAns.TIDs) {
+		t.Fatalf("replica contains = %+v, local = %+v", replicaAns, localAns)
+	}
+
+	// Fold an update: the next epoch must stay exact and reach the
+	// replicas (replication runs just after the fold answers, so poll).
+	before := coord.Counters().Replications
+	if _, err := s.Apply(context.Background(), []Op{{Kind: OpRelabelVertex, TID: 0, U: 0, Label: 1}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	requireFreshEqual(t, s.Snapshot(), cfg.Mine)
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Counters().Replications <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch 2 was never replicated (replications still %d)", before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterEndpointWithoutCluster pins the single-node behavior: no
+// coordinator means /v1/cluster is 404 and ?replica=1 silently answers
+// locally.
+func TestClusterEndpointWithoutCluster(t *testing.T) {
+	s := mustStart(t, testDB(3, 8), testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get(t, ts.URL+"/v1/cluster", http.StatusNotFound, nil)
+
+	var rp struct {
+		Replica bool `json:"replica"`
+		Total   int  `json:"total"`
+	}
+	get(t, ts.URL+"/v1/patterns?replica=1&k=5", http.StatusOK, &rp)
+	if rp.Replica {
+		t.Fatalf("?replica=1 claimed a replica answer without a cluster")
+	}
+	if st := s.Stats(); st.Cluster != nil {
+		t.Fatalf("Stats().Cluster = %+v without a cluster", st.Cluster)
+	}
+}

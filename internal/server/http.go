@@ -48,13 +48,19 @@ func patternToJSON(p *pattern.Pattern, withTIDs bool) patternJSON {
 //	                           merge-join pruning counters, latency digests)
 //	GET  /v1/patterns          top-k frequent patterns; ?k=, ?min_edges=
 //	                           (alias ?minsize=), ?max_edges=, ?tids=1;
-//	                           or one pattern by ?key=
+//	                           or one pattern by ?key=; ?replica=1 serves
+//	                           the list from a cluster snapshot replica
+//	                           when one is live (local fallback otherwise)
 //	POST /v1/contains          graph text (or {"graph": "..."}) -> ids of
 //	                           database graphs containing it; multi-graph
 //	                           text or {"graphs": [...]} answers a whole
-//	                           batch from one snapshot load
+//	                           batch from one snapshot load; ?replica=1
+//	                           routes single queries to a snapshot replica
 //	POST /v1/update            {"ops": [...]} -> applied atomically,
 //	                           responds after the snapshot swap
+//	GET  /v1/cluster           coordinator-mode fleet state: members with
+//	                           liveness, unit assignment, replica set,
+//	                           cluster counters (404 without a cluster)
 //	GET  /metrics              Prometheus text exposition (partserve_*)
 //	GET  /v1/debug/slow        slow-operation journal, newest first,
 //	                           with span trees
@@ -75,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/patterns", s.instrument("patterns", true, s.handlePatterns))
 	mux.HandleFunc("POST /v1/contains", s.instrument("contains", true, s.handleContains))
 	mux.HandleFunc("POST /v1/update", s.instrument("update", false, s.handleUpdate))
+	mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", false, s.handleCluster))
 	mux.Handle("GET /metrics", s.metrics.registry.Handler())
 	mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
 	return mux
@@ -143,6 +150,9 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad max_edges: %w", err))
 		return
 	}
+	if boolParam(q.Get("replica")) && s.replicaPatterns(w, r, k, minEdges, maxEdges) {
+		return
+	}
 	top := snap.TopKRange(k, minEdges, maxEdges)
 	out := make([]patternJSON, len(top))
 	for i, p := range top {
@@ -174,6 +184,9 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.Snapshot()
 	if !batched {
+		if boolParam(r.URL.Query().Get("replica")) && s.replicaContains(w, r, gs[0]) {
+			return
+		}
 		tids, st := snap.Contains(gs[0])
 		if tids == nil {
 			tids = []int{}
@@ -204,6 +217,85 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 		"count":   len(results),
 		"results": results,
 	})
+}
+
+// handleCluster reports the coordinator's fleet state. 404 when the
+// server runs without a cluster, so probes can distinguish "no cluster"
+// from "cluster with zero workers".
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("server runs without a cluster"))
+		return
+	}
+	info := cl.Info(s.Snapshot().Res.Options.K)
+	out := map[string]any{
+		"members":  info.Members,
+		"alive":    info.Alive,
+		"units":    info.Units,
+		"replicas": info.Replicas,
+		"counters": info.Counters,
+	}
+	if err := cl.Err(); err != nil {
+		out["degraded"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// replicaPatterns tries to answer a pattern list from a cluster snapshot
+// replica; false means the caller should answer locally (no cluster, no
+// live replica, or the replica read failed — replica reads are an
+// offload, never a point of failure).
+func (s *Server) replicaPatterns(w http.ResponseWriter, r *http.Request, k, minEdges, maxEdges int) bool {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		return false
+	}
+	reply, err := cl.ReadTopK(r.Context(), k, minEdges, maxEdges)
+	if err != nil {
+		s.logger.Warn("replica pattern read failed; answering locally", "err", err)
+		return false
+	}
+	out := make([]map[string]any, len(reply.Patterns))
+	for i, p := range reply.Patterns {
+		out[i] = map[string]any{"key": p.Key, "support": p.Support, "size": p.Size}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":    reply.Epoch,
+		"replica":  true,
+		"patterns": out,
+	})
+	return true
+}
+
+// replicaContains tries to answer one containment query from a cluster
+// snapshot replica, with the same local-fallback contract as
+// replicaPatterns.
+func (s *Server) replicaContains(w http.ResponseWriter, r *http.Request, g *graph.Graph) bool {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		return false
+	}
+	var buf strings.Builder
+	if err := graph.WriteDatabase(&buf, graph.Database{g}); err != nil {
+		return false
+	}
+	reply, err := cl.ReadContains(r.Context(), []byte(buf.String()))
+	if err != nil {
+		s.logger.Warn("replica contains read failed; answering locally", "err", err)
+		return false
+	}
+	tids := reply.TIDs
+	if tids == nil {
+		tids = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":   reply.Epoch,
+		"replica": true,
+		"support": reply.Support,
+		"tids":    tids,
+	})
+	return true
 }
 
 func containsStatsJSON(st query.Stats) map[string]int {

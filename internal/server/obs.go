@@ -20,9 +20,12 @@ package server
 //	partserve_partition_replication_factor    served partitioning's vertex replication
 //	partserve_partition_unit_balance          max/mean unit edge count
 //	partserve_partition_units                 number of partition units (K)
+//	partserve_cluster_rpc_seconds             coordinator->worker RPC latency
+//	partserve_cluster_alive_workers           workers passing heartbeats
 //	partserve_<counter>_total                 every observer-seam counter
-//	                                          (merge.*, index.*, gaston.*),
-//	                                          dots mapped to underscores
+//	                                          (merge.*, index.*, gaston.*,
+//	                                          cluster.*), dots mapped to
+//	                                          underscores
 
 import (
 	"strings"
@@ -43,6 +46,7 @@ type serverMetrics struct {
 	mergeVerify *obs.Histogram
 	vf2         *obs.Histogram
 	planFind    *obs.Histogram
+	clusterRPC  *obs.Histogram
 	queries     *obs.Counter
 
 	// seam maps observer counter names onto registered counters; built
@@ -62,6 +66,7 @@ func newServerMetrics() *serverMetrics {
 		mergeVerify: r.Histogram("partserve_merge_verify_seconds", "Merge-join candidate verification time.", nil),
 		vf2:         r.Histogram("partserve_vf2_match_seconds", "VF2 subgraph-isomorphism match time on the query path.", nil),
 		planFind:    r.Histogram("partserve_plan_find_seconds", "Plan-served containment query time (compiled-pattern hits).", nil),
+		clusterRPC:  r.Histogram("partserve_cluster_rpc_seconds", "Coordinator-to-worker RPC latency (mines, replications, replica reads).", nil),
 		queries:     r.Counter("partserve_queries_total", "Read queries served (patterns, contains)."),
 	}
 }
@@ -81,6 +86,8 @@ func (m *serverMetrics) mapStage(stage string) *obs.Histogram {
 		return m.vf2
 	case stage == "plan.find":
 		return m.planFind
+	case stage == "cluster.rpc":
+		return m.clusterRPC
 	case strings.HasPrefix(stage, "unit."):
 		return m.unitMine
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"partminer/internal/cluster"
 	"partminer/internal/core"
 	"partminer/internal/exec"
 	"partminer/internal/graph"
@@ -114,6 +116,14 @@ type Config struct {
 	SlowThreshold time.Duration
 	// SlowLogSize is the slow-log ring capacity; default 64.
 	SlowLogSize int
+	// Cluster, when non-nil, runs the server in coordinator mode: unit
+	// mining is sharded over the coordinator's worker fleet (unless Mine
+	// already carries a custom miner), published snapshots are replicated
+	// to workers, /v1/cluster reports the fleet, and pattern/containment
+	// reads can be answered from replicas (?replica=1). The server
+	// installs its merged observer on the coordinator, so cluster.*
+	// counters and the cluster.rpc stage land in /v1/stats and /metrics.
+	Cluster *cluster.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +230,14 @@ func Restore(ctx context.Context, db graph.Database, res *core.Result, cfg Confi
 	// observers or index.
 	own := *res
 	own.Options.Observer = s.mergedObserver(own.Options.Observer)
+	// Loaded results carry no miner functions (they are not serializable),
+	// so later folds would silently drop back to local mining. Re-adopt
+	// the configured miners — including the cluster coordinator newServer
+	// wired into s.opts — for the restored options.
+	if own.Options.UnitMiner == nil && own.Options.UnitMinerIndexed == nil {
+		own.Options.UnitMiner = s.opts.UnitMiner
+		own.Options.UnitMinerIndexed = s.opts.UnitMinerIndexed
+	}
 	if own.Index == nil {
 		fx, err := index.BuildContext(ctx, db, nil, own.Options.Observer)
 		if err != nil {
@@ -273,6 +291,20 @@ func newServer(cfg Config) *Server {
 		}
 		return nil
 	})
+	if cl := s.cfg.Cluster; cl != nil {
+		// Route cluster.* counters and the cluster.rpc stage through the
+		// same reporting stack as the mining seam.
+		cl.SetObserver(s.mergedObserver(nil))
+		// Shard unit mining over the fleet, unless the caller already
+		// supplied a custom miner.
+		if s.opts.UnitMiner == nil && s.opts.UnitMinerIndexed == nil {
+			s.opts.UnitMinerIndexed = cl.MineUnit
+		}
+		s.metrics.registry.GaugeFunc("partserve_cluster_alive_workers",
+			"Workers currently passing heartbeats.", func() float64 {
+				return float64(cl.AliveMembers())
+			})
+	}
 	return s
 }
 
@@ -330,8 +362,31 @@ func (s *Server) launch(db graph.Database, res *core.Result) *Server {
 	s.accumulateMergeLocked(res.MergeStats.Counters())
 	s.accumulateDecompLocked(res.DecompStats.Counters())
 	s.mu.Unlock()
+	s.replicate(snap)
 	go s.loop()
 	return s
+}
+
+// replicate ships a published snapshot to the coordinator's replica
+// workers. Replication is best-effort: serving never waits on it beyond
+// this synchronous call (which keeps epochs ordered — the fold loop is
+// the only caller after launch), and failures only log, because every
+// read has the local snapshot to fall back on.
+func (s *Server) replicate(snap *Snapshot) {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := core.SaveSnapshot(&buf, snap.Res.Portable()); err != nil {
+		s.logger.Warn("replication skipped: snapshot not serializable", "epoch", snap.Epoch, "err", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.Replicate(ctx, buf.Bytes(), snap.Epoch); err != nil {
+		s.logger.Warn("replication failed", "epoch", snap.Epoch, "err", err)
+	}
 }
 
 func (s *Server) makeSnapshot(epoch uint64, db graph.Database, res *core.Result) *Snapshot {
@@ -537,6 +592,10 @@ func (s *Server) fold(batch []*applyReq) {
 			Latency:      latency,
 		}}
 	}
+
+	// Replicate after answering: callers see their epoch as soon as it is
+	// published, replicas catch up before the next fold can start.
+	s.replicate(next)
 }
 
 // mine produces the result for the staged database: incrementally
@@ -804,6 +863,11 @@ type Stats struct {
 	// exact verification.
 	DecompUBPruned int64 `json:"decomp_ub_pruned,omitempty"`
 	DecompVerified int64 `json:"decomp_verified,omitempty"`
+	// Cluster reports the coordinator's fleet when the server runs in
+	// cluster mode: membership with liveness, the live unit assignment,
+	// the replica set, and the cluster counters. Omitted otherwise.
+	Cluster *cluster.Info `json:"cluster,omitempty"`
+
 	// Exec is the collector's per-stage phase breakdown and counters
 	// aggregated over the server's lifetime.
 	Exec exec.Metrics `json:"exec"`
@@ -842,6 +906,10 @@ func (s *Server) Stats() Stats {
 	}
 	q := snap.Res.PartitionQuality
 	st.Partition = &q
+	if cl := s.cfg.Cluster; cl != nil {
+		info := cl.Info(snap.Res.Options.K)
+		st.Cluster = &info
+	}
 	if eps := s.metrics.httpLatency.Children(); len(eps) > 0 {
 		st.HTTPLatency = make(map[string]obs.Quantiles, len(eps))
 		for _, ep := range eps {
