@@ -22,21 +22,21 @@ race:
 # iteration — it catches benchmarks broken by refactors without paying for
 # a real measurement run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkPlannedContains|BenchmarkGenericContains|BenchmarkPlannedFind|BenchmarkBatchedContains|BenchmarkServeUpdateBatch|BenchmarkClusterMine|BenchmarkTraceOverhead|BenchmarkPartitionStrategies|BenchmarkScheduleCostFirst|BenchmarkScheduleIndexOrder|BenchmarkTIDKernels|BenchmarkDecompMine' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkGSpanMine|BenchmarkGastonMine|BenchmarkSubgraphIsomorphism|BenchmarkMinDFSCode|BenchmarkPartMinerK2|BenchmarkIndexedSupport|BenchmarkPlannedContains|BenchmarkGenericContains|BenchmarkPlannedFind|BenchmarkBatchedContains|BenchmarkServeUpdateBatch|BenchmarkClusterMine|BenchmarkTraceOverhead|BenchmarkDistTraceOverhead|BenchmarkPartitionStrategies|BenchmarkScheduleCostFirst|BenchmarkScheduleIndexOrder|BenchmarkTIDKernels|BenchmarkDecompMine' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkInitial|BenchmarkExtensions' -benchtime 1x ./internal/extend/
 
 # bench-json regenerates the current benchmark-trajectory snapshot
-# (BENCH_PR9.json) at full benchtime, embedding the recorded pre-change
+# (BENCH_PR10.json) at full benchtime, embedding the recorded pre-change
 # baseline for side-by-side comparison.
 bench-json:
-	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR9.json -label pr9-cluster -baseline BENCH_PR9_BASELINE.json
+	$(GO) run ./cmd/benchrunner -benchjson BENCH_PR10.json -label pr10-disttrace -baseline BENCH_PR10_BASELINE.json
 
 # bench-diff gates allocs/op against the recorded baseline without running
-# any benchmarks: it compares the committed BENCH_PR9.json snapshot to
-# BENCH_PR9_BASELINE.json and fails on a >10% regression. Re-record the
+# any benchmarks: it compares the committed BENCH_PR10.json snapshot to
+# BENCH_PR10_BASELINE.json and fails on a >10% regression. Re-record the
 # snapshot with bench-json after intentional changes.
 bench-diff:
-	$(GO) run ./cmd/benchrunner -diff BENCH_PR9.json -baseline BENCH_PR9_BASELINE.json
+	$(GO) run ./cmd/benchrunner -diff BENCH_PR10.json -baseline BENCH_PR10_BASELINE.json
 
 # serve-smoke boots partserved on an ephemeral port, exercises every HTTP
 # endpoint with curl, and checks the answers (see scripts/serve_smoke.sh).

@@ -139,6 +139,14 @@ func BenchmarkClusterMine(b *testing.B) { bench.BenchClusterMine(b) }
 
 func BenchmarkTraceOverhead(b *testing.B) { bench.BenchTraceOverhead(b) }
 
+// Cluster mining with distributed tracing off vs on: Off must match
+// BenchmarkClusterMine's allocs/op (tracing is free when disabled); On
+// prices remote span capture, serialization, and coordinator grafting.
+func BenchmarkDistTraceOverhead(b *testing.B) {
+	b.Run("Off", bench.BenchDistTraceOverheadOff)
+	b.Run("On", bench.BenchDistTraceOverheadOn)
+}
+
 // One sub-benchmark per registered partition strategy, full PartMiner
 // pipeline on the hub-heavy dataset (identical results, differing cost).
 func BenchmarkPartitionStrategies(b *testing.B) {

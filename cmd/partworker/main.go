@@ -10,10 +10,14 @@
 // ring identity: restarting under the same -id reclaims exactly the
 // units it owned before.
 //
+// In either mode -metrics-addr opens a dedicated observability listener
+// (mirroring partserved -debug-addr) serving /metrics (the worker's
+// partworker_* registry), /healthz, and /debug/pprof.
+//
 // Usage:
 //
 //	partworker -listen :4100
-//	partworker -listen :0 -join 127.0.0.1:7400 -id worker-a
+//	partworker -listen :0 -join 127.0.0.1:7400 -id worker-a -metrics-addr :0
 //
 // SIGINT/SIGTERM shut the worker down cleanly.
 package main
@@ -23,11 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"partminer/internal/cluster"
+	"partminer/internal/obs"
 	"partminer/internal/remote"
 )
 
@@ -38,6 +45,8 @@ func main() {
 	id := flag.String("id", "", "stable ring identity in cluster mode (default: worker-<pid>)")
 	advertise := flag.String("advertise", "", "address advertised to the coordinator (default: the bound listener address)")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat period in cluster mode (0 = 2s default)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (off when empty)")
+	metricsPortFile := flag.String("metrics-portfile", "", "write the bound metrics address to this file once listening (for scripts)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -59,6 +68,12 @@ func main() {
 	}()
 
 	if *join == "" {
+		// Standalone mode has no Worker (and so no shard instruments); the
+		// observability listener still serves healthz/pprof and an empty
+		// registry so probes work uniformly across modes.
+		if err := serveMetrics(ctx, *metricsAddr, *metricsPortFile, obs.NewRegistry()); err != nil {
+			fatal(err)
+		}
 		fmt.Fprintf(os.Stderr, "partworker: mining units on %s\n", l.Addr())
 		if err := remote.Serve(l); err != nil {
 			if ctx.Err() != nil {
@@ -74,6 +89,9 @@ func main() {
 		*id = fmt.Sprintf("worker-%d", os.Getpid())
 	}
 	w := cluster.NewWorker(*id)
+	if err := serveMetrics(ctx, *metricsAddr, *metricsPortFile, w.Registry()); err != nil {
+		fatal(err)
+	}
 	w.Heartbeat = *heartbeat
 	w.Advertise = *advertise
 	if w.Advertise == "" {
@@ -91,6 +109,44 @@ func main() {
 		}
 		fatal(err)
 	}
+}
+
+// serveMetrics opens the dedicated observability listener when addr is
+// set: the registry at /metrics, a liveness probe at /healthz, and the
+// pprof profiling suite at /debug/pprof. The listener closes with ctx.
+func serveMetrics(ctx context.Context, addr, portFile string, registry *obs.Registry) error {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", registry.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok": true}`)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "partworker: metrics on %s\n", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed via ctx below
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	return nil
 }
 
 func fatal(err error) {

@@ -540,6 +540,86 @@ func BenchTraceOverhead(b *testing.B) {
 	}
 }
 
+// benchDistTrace mines over the same in-process three-worker fleet as
+// BenchClusterMine, toggling distributed tracing. Off runs the exact
+// untraced cluster hot path — no tracer, no ambient span, empty TraceID
+// on every RPC — so its allocs/op must match BenchmarkClusterMine in the
+// same snapshot (the zero-cost-when-off guarantee for the trace-context
+// plumbing in the cluster proto). On attaches a Tracer to every mine:
+// each worker runs its own per-RPC tracer and ships the serialized
+// subtree back for grafting, so the delta against Off prices the whole
+// distributed-tracing machinery (remote spans, encode/decode, graft).
+func benchDistTrace(b *testing.B, traced bool) {
+	db, sup := MicroDB(), MicroSupport()
+	const workers, K = 3, 4
+
+	coord := cluster.NewCoordinator(cluster.Config{HeartbeatInterval: time.Minute})
+	defer coord.Close()
+	cl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	go coord.Serve(cl) //nolint:errcheck // returns when the listener closes
+	for i := 0; i < workers; i++ {
+		w := cluster.NewWorker(fmt.Sprintf("trace-worker-%d", i))
+		wl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wl.Close()
+		w.Advertise = wl.Addr().String()
+		go w.Serve(wl) //nolint:errcheck // returns when the listener closes
+		if err := w.Join(cl.Addr().String()); err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+	}
+
+	opts := core.Options{MinSupport: sup, K: K, UnitMinerIndexed: coord.MineUnit}
+	var tracer *obs.Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		if traced {
+			tracer = obs.NewTracer("bench.distmine")
+			ctx = obs.ObserverInContext(obs.WithSpan(ctx, tracer.Root()), nil)
+		}
+		if _, err := core.MineContext(ctx, db, opts); err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			tracer.Finish()
+		}
+	}
+	b.StopTimer()
+	if traced {
+		// The last iteration's trace must carry grafted worker subtrees —
+		// the single-flame acceptance check, priced into the On family.
+		found := false
+		var walk func(n *obs.Node)
+		walk = func(n *obs.Node) {
+			if len(n.Name) >= 7 && n.Name[:7] == "worker." {
+				found = true
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(tracer.Tree())
+		if !found {
+			b.Fatal("traced cluster mine grafted no worker spans")
+		}
+	}
+}
+
+// BenchDistTraceOverheadOff is the untraced arm of benchDistTrace.
+func BenchDistTraceOverheadOff(b *testing.B) { benchDistTrace(b, false) }
+
+// BenchDistTraceOverheadOn is the traced arm of benchDistTrace.
+func BenchDistTraceOverheadOn(b *testing.B) { benchDistTrace(b, true) }
+
 // tidKernelSetup builds the shared operand sets for the TID-kernel
 // families: eight bitsets over a 64k-transaction universe, mirroring a
 // decomposition upper-bound probe — the two leading operands are the
@@ -710,6 +790,8 @@ func Micros() []Micro {
 		{"BenchmarkServeUpdateBatch", BenchServeUpdateBatch},
 		{"BenchmarkClusterMine", BenchClusterMine},
 		{"BenchmarkTraceOverhead", BenchTraceOverhead},
+		{"BenchmarkDistTraceOverhead/Off", BenchDistTraceOverheadOff},
+		{"BenchmarkDistTraceOverhead/On", BenchDistTraceOverheadOn},
 	}
 	for _, name := range partition.Names() {
 		micros = append(micros, Micro{

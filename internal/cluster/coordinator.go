@@ -25,6 +25,7 @@ import (
 	"partminer/internal/exec"
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
+	"partminer/internal/obs"
 	"partminer/internal/pattern"
 	"partminer/internal/remote"
 )
@@ -79,6 +80,9 @@ type member struct {
 	lastBeat time.Time
 	mined    int64
 	warmHits int64
+	// samples is the worker's latest registry snapshot, delivered on its
+	// heartbeats; the serving layer federates it onto /metrics.
+	samples []obs.Sample
 }
 
 // mineRecord remembers the last mine request for a unit, so the monitor
@@ -103,6 +107,7 @@ type Counters struct {
 	WarmHits      int64 `json:"warm_hits"`
 	Replications  int64 `json:"replications"`
 	ShipBytes     int64 `json:"ship_bytes"`
+	TraceGrafts   int64 `json:"trace_grafts"`
 }
 
 // MemberInfo is one worker in a cluster Info report.
@@ -113,6 +118,9 @@ type MemberInfo struct {
 	LastBeatAgeMS int64  `json:"last_beat_age_ms"`
 	Mined         int64  `json:"mined"`
 	WarmHits      int64  `json:"warm_hits"`
+	// Metrics digests the worker's latest federated samples: counters and
+	// gauges by name, histograms as <name>_count / <name>_sum.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Info is the cluster state document behind /v1/cluster.
@@ -146,6 +154,7 @@ type Coordinator struct {
 		registrations, heartbeats, deaths, revivals atomic.Int64
 		reassignments, remines, localMines          atomic.Int64
 		warmHits, replications, shipBytes           atomic.Int64
+		traceGrafts                                 atomic.Int64
 	}
 
 	stopOnce sync.Once
@@ -253,6 +262,9 @@ func (c *Coordinator) heartbeat(args HeartbeatArgs, reply *HeartbeatReply) error
 	m.lastBeat = time.Now()
 	m.mined = args.Mined
 	m.warmHits = args.WarmHits
+	if len(args.Metrics) > 0 {
+		m.samples = args.Metrics
+	}
 	c.mu.Unlock()
 	reply.Known = true
 	c.count(&c.counters.heartbeats, "heartbeats", 1)
@@ -366,6 +378,66 @@ func (c *Coordinator) shardCall(ctx context.Context, m *member, method string, a
 	return err
 }
 
+// graftReply splices a worker-side trace subtree (the TraceJSON of a
+// traced reply) into the live span that initiated the RPC, anchored at
+// the moment the RPC was issued and bounded by the default graft caps.
+// Untraced calls (nil span, empty subtree) cost nothing.
+func (c *Coordinator) graftReply(sp *obs.Span, rpcStart time.Time, traceJSON []byte) {
+	if sp == nil || len(traceJSON) == 0 {
+		return
+	}
+	n, err := obs.DecodeNode(traceJSON)
+	if err != nil {
+		return // a malformed trace never fails the data path
+	}
+	if sp.Graft(rpcStart, n, 0, 0) > 0 {
+		c.count(&c.counters.traceGrafts, "trace_grafts", 1)
+	}
+}
+
+// WorkerSamples snapshots every live worker's latest federated metric
+// samples, keyed by worker id in sorted order — the serving layer
+// renders them as partserve_worker_* series on /metrics.
+func (c *Coordinator) WorkerSamples() (ids []string, samples map[string][]obs.Sample) {
+	c.mu.Lock()
+	samples = make(map[string][]obs.Sample, len(c.members))
+	for id, m := range c.members {
+		if m.alive && len(m.samples) > 0 {
+			samples[id] = m.samples
+		}
+	}
+	c.mu.Unlock()
+	ids = make([]string, 0, len(samples))
+	for id := range samples {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, samples
+}
+
+// digestSamples flattens a worker's samples into the /v1/cluster member
+// block: counters and gauges by name, histograms as _count/_sum, vec
+// children keyed with their label pair.
+func digestSamples(samples []obs.Sample) map[string]float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		name := s.Name
+		if s.Label != "" {
+			name = fmt.Sprintf("%s{%s=%q}", s.Name, s.Label, s.LabelValue)
+		}
+		if s.Type == "histogram" {
+			out[name+"_count"] = float64(s.Count)
+			out[name+"_sum"] = s.Sum
+			continue
+		}
+		out[name] = s.Value
+	}
+	return out
+}
+
 // localMine is the no-fleet / all-failed fallback: mine the unit here,
 // exactly as a worker would have.
 func (c *Coordinator) localMine(ctx context.Context, db graph.Database, minSup, maxEdges int) (pattern.Set, error) {
@@ -398,11 +470,16 @@ func (c *Coordinator) MineUnit(ctx context.Context, unit int, db graph.Database,
 	if dl, ok := ctx.Deadline(); ok {
 		args.DeadlineUnixMilli = dl.UnixMilli()
 	}
+	// sp is the unit span PartMiner installed around this unit mine; when
+	// set, the worker traces its side and the reply subtree grafts here.
+	sp := obs.SpanFrom(ctx)
+	args.TraceID = sp.TraceID()
 
 	primary, _ := c.ring.Owner(key)
 	var errs []error
 	for _, m := range c.aliveOwners(key) {
 		var reply MineUnitReply
+		rpcStart := time.Now()
 		if err := c.shardCall(ctx, m, "Shard.MineUnit", args, &reply, len(args.DBText)); err != nil {
 			errs = append(errs, fmt.Errorf("worker %s (%s): %w", m.id, m.addr, err))
 			if ctx.Err() != nil {
@@ -415,6 +492,7 @@ func (c *Coordinator) MineUnit(ctx context.Context, unit int, db graph.Database,
 			errs = append(errs, fmt.Errorf("worker %s (%s): %w", m.id, m.addr, err))
 			continue
 		}
+		c.graftReply(sp, rpcStart, reply.TraceJSON)
 		if m.id != primary {
 			c.count(&c.counters.reassignments, "reassignments", 1)
 		}
@@ -496,15 +574,19 @@ func (c *Coordinator) ReadTopK(ctx context.Context, k, minEdges, maxEdges int) (
 	if len(reps) == 0 {
 		return nil, fmt.Errorf("cluster: no live snapshot replicas")
 	}
+	sp := obs.SpanFrom(ctx)
+	args := TopKArgs{K: k, MinEdges: minEdges, MaxEdges: maxEdges, TraceID: sp.TraceID()}
 	start := int(c.replicaNext.Add(1) - 1)
 	var errs []error
 	for i := 0; i < len(reps); i++ {
 		m := reps[(start+i)%len(reps)]
 		var reply TopKReply
-		if err := c.shardCall(ctx, m, "Shard.TopK", TopKArgs{K: k, MinEdges: minEdges, MaxEdges: maxEdges}, &reply, 0); err != nil {
+		rpcStart := time.Now()
+		if err := c.shardCall(ctx, m, "Shard.TopK", args, &reply, 0); err != nil {
 			errs = append(errs, fmt.Errorf("replica %s: %w", m.id, err))
 			continue
 		}
+		c.graftReply(sp, rpcStart, reply.TraceJSON)
 		return &reply, nil
 	}
 	return nil, errors.Join(errs...)
@@ -517,15 +599,19 @@ func (c *Coordinator) ReadContains(ctx context.Context, queryText []byte) (*Cont
 	if len(reps) == 0 {
 		return nil, fmt.Errorf("cluster: no live snapshot replicas")
 	}
+	sp := obs.SpanFrom(ctx)
+	args := ContainsArgs{QueryText: queryText, TraceID: sp.TraceID()}
 	start := int(c.replicaNext.Add(1) - 1)
 	var errs []error
 	for i := 0; i < len(reps); i++ {
 		m := reps[(start+i)%len(reps)]
 		var reply ContainsReply
-		if err := c.shardCall(ctx, m, "Shard.Contains", ContainsArgs{QueryText: queryText}, &reply, 0); err != nil {
+		rpcStart := time.Now()
+		if err := c.shardCall(ctx, m, "Shard.Contains", args, &reply, 0); err != nil {
 			errs = append(errs, fmt.Errorf("replica %s: %w", m.id, err))
 			continue
 		}
+		c.graftReply(sp, rpcStart, reply.TraceJSON)
 		return &reply, nil
 	}
 	return nil, errors.Join(errs...)
@@ -544,6 +630,7 @@ func (c *Coordinator) Counters() Counters {
 		WarmHits:      c.counters.warmHits.Load(),
 		Replications:  c.counters.replications.Load(),
 		ShipBytes:     c.counters.shipBytes.Load(),
+		TraceGrafts:   c.counters.traceGrafts.Load(),
 	}
 }
 
@@ -579,6 +666,7 @@ func (c *Coordinator) Info(unitCount int) Info {
 			LastBeatAgeMS: now.Sub(m.lastBeat).Milliseconds(),
 			Mined:         m.mined,
 			WarmHits:      m.warmHits,
+			Metrics:       digestSamples(m.samples),
 		})
 	}
 	replicaSet := append([]string(nil), c.replicaSet...)

@@ -1,5 +1,7 @@
 package cluster
 
+import "partminer/internal/obs"
+
 // proto.go: the wire types of the two cluster RPC services.
 //
 //   - "Coordinator" (exposed by the coordinator, called by workers):
@@ -10,6 +12,12 @@ package cluster
 // Like internal/remote, payloads travel in the repository's text
 // formats — gSpan databases, pattern.WriteSet pattern sets, SaveSnapshot
 // snapshots — so every message is inspectable with a pager.
+//
+// Distributed tracing rides the same messages: work requests carry a
+// TraceID when the coordinator-side call is being traced ("" otherwise,
+// and the worker then does zero tracing work), and replies to traced
+// requests carry the worker's span subtree as TraceJSON (obs.EncodeNode)
+// for the coordinator to graft into its live trace.
 
 // RegisterArgs announces a worker to the coordinator.
 type RegisterArgs struct {
@@ -34,6 +42,10 @@ type HeartbeatArgs struct {
 	// in /v1/cluster without a separate status poll.
 	Mined    int64
 	WarmHits int64
+	// Metrics is the worker's full registry snapshot (obs.Registry.Gather),
+	// piggybacked on the beat so the coordinator can federate
+	// partserve_worker_* series on /metrics without a scrape fan-out.
+	Metrics []obs.Sample
 }
 
 // HeartbeatReply acknowledges a heartbeat.
@@ -57,6 +69,9 @@ type MineUnitArgs struct {
 	FreeTreeEngine bool
 	// DeadlineUnixMilli bounds the remote mine (Unix ms; 0 = none).
 	DeadlineUnixMilli int64
+	// TraceID, when non-empty, asks the worker to trace the mine under
+	// this distributed trace id and return the span subtree.
+	TraceID string
 }
 
 // MineUnitReply carries the unit's frequent patterns.
@@ -66,6 +81,9 @@ type MineUnitReply struct {
 	// Warm reports that the reply came from the worker's unit cache
 	// without re-mining (same unit key, same database, same parameters).
 	Warm bool
+	// TraceJSON is the worker-side span subtree (obs.EncodeNode) of a
+	// traced mine; empty when the request carried no TraceID.
+	TraceJSON []byte
 }
 
 // StoreSnapshotArgs replicates a mined serving snapshot to a worker.
@@ -90,6 +108,8 @@ type TopKArgs struct {
 	K        int
 	MinEdges int
 	MaxEdges int
+	// TraceID, when non-empty, asks for a traced read (see MineUnitArgs).
+	TraceID string
 }
 
 // PatternInfo is one pattern in a replica read reply.
@@ -101,21 +121,25 @@ type PatternInfo struct {
 
 // TopKReply is the replica's answer plus the epoch it answered from.
 type TopKReply struct {
-	Epoch    uint64
-	Patterns []PatternInfo
+	Epoch     uint64
+	Patterns  []PatternInfo
+	TraceJSON []byte
 }
 
 // ContainsArgs asks a replica which database graphs contain a query.
 type ContainsArgs struct {
 	// QueryText is one graph in the gSpan text format.
 	QueryText []byte
+	// TraceID, when non-empty, asks for a traced read (see MineUnitArgs).
+	TraceID string
 }
 
 // ContainsReply is the replica's containment answer.
 type ContainsReply struct {
-	Epoch   uint64
-	Support int
-	TIDs    []int
+	Epoch     uint64
+	Support   int
+	TIDs      []int
+	TraceJSON []byte
 }
 
 // StatusArgs requests a worker's self-report.

@@ -1,0 +1,135 @@
+package cluster
+
+// trace_test.go: distributed tracing and metrics federation across the
+// coordinator/worker RPC boundary — the single-flame guarantee (worker
+// spans grafted into the coordinator's live trace) and the heartbeat
+// piggyback that feeds partserve_worker_* federation.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"partminer/internal/core"
+	"partminer/internal/obs"
+)
+
+// TestClusterTracedMineSingleFlame is the acceptance anchor: a
+// cluster-mode mine under a live tracer produces ONE trace whose flame
+// output contains the worker-side per-unit spans, grafted under the
+// local unit spans that issued the RPCs.
+func TestClusterTracedMineSingleFlame(t *testing.T) {
+	tc := startCluster(t, 2, Config{})
+	db := testDB(7)
+	opts := core.Options{MinSupport: 2, K: 4, MaxEdges: 3}
+	opts.UnitMinerIndexed = tc.coord.MineUnit
+
+	// An untraced mine must graft nothing — the zero-cost-off contract.
+	if _, err := core.PartMiner(db, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.coord.Counters().TraceGrafts; got != 0 {
+		t.Fatalf("untraced mine grafted %d times", got)
+	}
+
+	tracer := obs.NewTracer("fold")
+	ctx := obs.ObserverInContext(obs.WithSpan(context.Background(), tracer.Root()), nil)
+	if _, err := core.MineContext(ctx, db, opts); err != nil {
+		t.Fatal(err)
+	}
+	tracer.Finish()
+
+	// Every unit RPC grafts one remote subtree.
+	if got := tc.coord.Counters().TraceGrafts; got != 4 {
+		t.Fatalf("trace grafts = %d, want 4 (one per unit)", got)
+	}
+
+	var flame strings.Builder
+	tracer.WriteFlame(&flame)
+	out := flame.String()
+	if !strings.Contains(out, "worker.worker-") {
+		t.Fatalf("flame lacks grafted worker roots:\n%s", out)
+	}
+	if !strings.Contains(out, "mine.unit-") {
+		t.Fatalf("flame lacks worker-side per-unit spans:\n%s", out)
+	}
+
+	// Structure: each local unit.<i> span hosts the grafted remote
+	// subtree worker.<id> → mine.unit-<i>, all inside the one tree.
+	tree := tracer.Tree()
+	grafted := 0
+	var walk func(n *obs.Node, inUnit bool)
+	walk = func(n *obs.Node, inUnit bool) {
+		if inUnit && strings.HasPrefix(n.Name, "worker.") {
+			grafted++
+			if len(n.Children) == 0 || !strings.HasPrefix(n.Children[0].Name, "mine.unit-") {
+				t.Fatalf("grafted worker root lacks its op span: %+v", n)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, inUnit || strings.HasPrefix(n.Name, "unit."))
+		}
+	}
+	walk(tree, false)
+	if grafted != 4 {
+		t.Fatalf("found %d grafted worker subtrees under unit spans, want 4", grafted)
+	}
+}
+
+// TestClusterHeartbeatFederatesMetrics: worker registries ride
+// heartbeats to the coordinator, which exposes them via WorkerSamples
+// (for /metrics federation) and digests them into /v1/cluster members.
+func TestClusterHeartbeatFederatesMetrics(t *testing.T) {
+	tc := startCluster(t, 1, Config{})
+	db := testDB(9)
+	opts := core.Options{MinSupport: 2, K: 2, MaxEdges: 3}
+	opts.UnitMinerIndexed = tc.coord.MineUnit
+	if _, err := core.PartMiner(db, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// The beat after the mine carries the updated registry snapshot.
+	var mined float64
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		_, samples := tc.coord.WorkerSamples()
+		for _, s := range samples["worker-0"] {
+			if s.Name == "partworker_units_mined_total" {
+				mined = s.Value
+			}
+		}
+		if mined >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mined < 2 {
+		t.Fatalf("federated units-mined = %v, want >= 2", mined)
+	}
+
+	_, samples := tc.coord.WorkerSamples()
+	byName := map[string]obs.Sample{}
+	for _, s := range samples["worker-0"] {
+		byName[s.Name] = s
+	}
+	if s, ok := byName["partworker_unit_mine_seconds"]; !ok || s.Type != "histogram" || s.Count < 2 {
+		t.Fatalf("unit-mine histogram sample = %+v", s)
+	}
+	if s, ok := byName["partworker_uptime_seconds"]; !ok || s.Value <= 0 {
+		t.Fatalf("uptime gauge sample = %+v", s)
+	}
+
+	// The member digest in Info mirrors the same snapshot.
+	info := tc.coord.Info(0)
+	if len(info.Members) != 1 {
+		t.Fatalf("members = %+v", info.Members)
+	}
+	digest := info.Members[0].Metrics
+	if digest["partworker_units_mined_total"] < 2 {
+		t.Fatalf("member digest lacks units mined: %v", digest)
+	}
+	if digest["partworker_unit_mine_seconds_count"] < 2 {
+		t.Fatalf("member digest lacks histogram count: %v", digest)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"partminer/internal/gaston"
 	"partminer/internal/graph"
 	"partminer/internal/index"
+	"partminer/internal/obs"
 	"partminer/internal/pattern"
 	"partminer/internal/query"
 	"partminer/internal/remote"
@@ -67,6 +68,8 @@ type Worker struct {
 	Mined    atomic.Int64
 	WarmHits atomic.Int64
 
+	metrics *workerMetrics
+
 	mu      sync.Mutex
 	warm    map[string]warmEntry
 	replica *replicaState
@@ -82,12 +85,14 @@ type Worker struct {
 
 // NewWorker returns a worker with the given ring identity.
 func NewWorker(id string) *Worker {
-	return &Worker{
+	w := &Worker{
 		ID:        id,
 		warm:      make(map[string]warmEntry),
 		liveConns: make(map[net.Conn]struct{}),
 		stop:      make(chan struct{}),
 	}
+	w.metrics = newWorkerMetrics(w)
+	return w
 }
 
 // Serve exposes the Shard service on l until the listener closes.
@@ -169,7 +174,12 @@ func (w *Worker) register() error {
 func (w *Worker) beat() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	args := HeartbeatArgs{ID: w.ID, Mined: w.Mined.Load(), WarmHits: w.WarmHits.Load()}
+	args := HeartbeatArgs{
+		ID:       w.ID,
+		Mined:    w.Mined.Load(),
+		WarmHits: w.WarmHits.Load(),
+		Metrics:  w.metrics.registry.Gather(),
+	}
 	var reply HeartbeatReply
 	if err := w.coord.Call(ctx, "Coordinator.Heartbeat", args, &reply, nil); err != nil {
 		return // coordinator unreachable; the Conn redials on the next beat
@@ -189,6 +199,31 @@ func (w *Worker) Close() {
 	}
 }
 
+// traceRPC is the worker half of trace propagation: when the request
+// carries a trace id it starts a worker-local tracer under that id, with
+// the op span installed as the context's active span *and* ambient
+// observer, so everything the handler runs (gaston stage ends, counters)
+// aggregates into the span exactly as a local hot stage would. done
+// finishes the trace and serializes its tree into *out for the reply.
+// With no trace id it returns ctx unchanged and a nil done — the
+// untraced path costs one string compare.
+func (w *Worker) traceRPC(ctx context.Context, traceID, op string) (context.Context, func(out *[]byte)) {
+	if traceID == "" {
+		return ctx, nil
+	}
+	tracer := obs.NewTracerID("worker."+w.ID, traceID)
+	sp := tracer.Root().StartChild(op)
+	ctx = obs.ObserverInContext(obs.WithSpan(ctx, sp), nil)
+	w.metrics.tracedOps.Inc()
+	return ctx, func(out *[]byte) {
+		sp.End()
+		tracer.Finish()
+		if b, err := obs.EncodeNode(tracer.Tree()); err == nil {
+			*out = b
+		}
+	}
+}
+
 // unitFingerprint digests a mine request's inputs — database text and
 // parameters — so the warm cache can prove a request identical.
 func unitFingerprint(args *MineUnitArgs) uint64 {
@@ -201,6 +236,10 @@ func unitFingerprint(args *MineUnitArgs) uint64 {
 // mineUnit answers one unit mine, from the warm cache when the unit is
 // unchanged since its last mine here.
 func (w *Worker) mineUnit(args MineUnitArgs, reply *MineUnitReply) error {
+	ctx, done := w.traceRPC(context.Background(), args.TraceID, "mine."+args.UnitKey)
+	if done != nil {
+		defer done(&reply.TraceJSON)
+	}
 	fp := unitFingerprint(&args)
 	if args.UnitKey != "" {
 		w.mu.Lock()
@@ -209,16 +248,18 @@ func (w *Worker) mineUnit(args MineUnitArgs, reply *MineUnitReply) error {
 			reply.Warm = true
 			w.mu.Unlock()
 			w.WarmHits.Add(1)
+			w.metrics.warmHits.Inc()
+			obs.SpanFrom(ctx).Count("warm", 1)
 			return nil
 		}
 		w.mu.Unlock()
 	}
 
+	start := time.Now()
 	db, err := graph.ReadDatabase(bytes.NewReader(args.DBText))
 	if err != nil {
 		return fmt.Errorf("cluster: parse unit database: %w", err)
 	}
-	ctx := context.Background()
 	if args.DeadlineUnixMilli > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(args.DeadlineUnixMilli))
@@ -247,12 +288,16 @@ func (w *Worker) mineUnit(args MineUnitArgs, reply *MineUnitReply) error {
 		w.mu.Unlock()
 	}
 	w.Mined.Add(1)
+	w.metrics.unitsMined.Inc()
+	w.metrics.unitMine.ObserveDuration(time.Since(start))
 	return nil
 }
 
 // storeSnapshot loads a replicated serving snapshot and builds the
 // replica read path (feature index + containment index) from it.
 func (w *Worker) storeSnapshot(args StoreSnapshotArgs, reply *StoreSnapshotReply) error {
+	start := time.Now()
+	defer func() { w.metrics.snapshotStore.ObserveDuration(time.Since(start)) }()
 	db, res, err := core.LoadSnapshot(bytes.NewReader(args.SnapshotText))
 	if err != nil {
 		return fmt.Errorf("cluster: load replica snapshot: %w", err)
@@ -281,10 +326,17 @@ func (w *Worker) getReplica() (*replicaState, error) {
 // coordinator's own /v1/patterns uses, so replica reads are
 // indistinguishable modulo epoch).
 func (w *Worker) topK(args TopKArgs, reply *TopKReply) error {
+	ctx, done := w.traceRPC(context.Background(), args.TraceID, "replica.topk")
+	if done != nil {
+		defer done(&reply.TraceJSON)
+	}
+	start := time.Now()
+	defer func() { w.metrics.replicaRead.With("topk").ObserveDuration(time.Since(start)) }()
 	rep, err := w.getReplica()
 	if err != nil {
 		return err
 	}
+	obs.SpanFrom(ctx).Count("patterns", int64(len(rep.res.Patterns)))
 	out := make([]PatternInfo, 0, len(rep.res.Patterns))
 	for key, p := range rep.res.Patterns {
 		if p.Size() < args.MinEdges || (args.MaxEdges > 0 && p.Size() > args.MaxEdges) {
@@ -308,6 +360,12 @@ func (w *Worker) topK(args TopKArgs, reply *TopKReply) error {
 
 // contains answers a replica containment read.
 func (w *Worker) contains(args ContainsArgs, reply *ContainsReply) error {
+	ctx, done := w.traceRPC(context.Background(), args.TraceID, "replica.contains")
+	if done != nil {
+		defer done(&reply.TraceJSON)
+	}
+	start := time.Now()
+	defer func() { w.metrics.replicaRead.With("contains").ObserveDuration(time.Since(start)) }()
 	rep, err := w.getReplica()
 	if err != nil {
 		return err
@@ -317,6 +375,7 @@ func (w *Worker) contains(args ContainsArgs, reply *ContainsReply) error {
 		return fmt.Errorf("cluster: contains wants exactly one query graph")
 	}
 	tids, _ := rep.search.Find(qdb[0])
+	obs.SpanFrom(ctx).Count("matches", int64(len(tids)))
 	reply.Epoch = rep.epoch
 	reply.Support = len(tids)
 	reply.TIDs = tids

@@ -130,13 +130,16 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// metric is one exposition family.
+// metric is one exposition family. Exactly one of the instrument fields
+// is set; Gather (federate.go) switches on them to snapshot the family.
 type metric struct {
 	name, help, typ string
 	write           func(w io.Writer, name string)
 	hist            *Histogram    // set for plain histogram families
 	vec             *HistogramVec // set for labeled histogram families
 	counter         *Counter      // set for counter families
+	gaugeFn         func() float64
+	counterFn       func() int64
 }
 
 // Registry holds named metric families and renders them in registration
@@ -147,6 +150,7 @@ type Registry struct {
 	mu      sync.Mutex
 	byName  map[string]*metric
 	ordered []*metric
+	hooks   []func(io.Writer)
 }
 
 // NewRegistry returns an empty registry.
@@ -201,7 +205,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 // GaugeFunc registers a gauge whose value is read at exposition time.
 func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	r.register(name, help, "gauge", func() *metric {
-		return &metric{write: func(w io.Writer, fam string) {
+		return &metric{gaugeFn: f, write: func(w io.Writer, fam string) {
 			fmt.Fprintf(w, "%s %s\n", fam, formatFloat(f()))
 		}}
 	})
@@ -211,7 +215,7 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 // (for monotonic values owned elsewhere, e.g. batch statistics).
 func (r *Registry) CounterFunc(name, help string, f func() int64) {
 	r.register(name, help, "counter", func() *metric {
-		return &metric{write: func(w io.Writer, fam string) {
+		return &metric{counterFn: f, write: func(w io.Writer, fam string) {
 			fmt.Fprintf(w, "%s %d\n", fam, f())
 		}}
 	})
@@ -219,10 +223,10 @@ func (r *Registry) CounterFunc(name, help string, f func() int64) {
 
 // HistogramVec is a histogram family with one label dimension.
 type HistogramVec struct {
-	label   string
-	buckets []float64
-	mu      sync.RWMutex
-	order   []string
+	label    string
+	buckets  []float64
+	mu       sync.RWMutex
+	order    []string
 	children map[string]*Histogram
 }
 
@@ -266,41 +270,47 @@ func (v *HistogramVec) writeAll(w io.Writer, fam string) {
 // labels, when non-empty, is a pre-rendered `name="value"` list without
 // braces; le is appended to it.
 func writeHistogram(w io.Writer, fam, labels string, h *Histogram) {
-	sep := ""
-	if labels != "" {
-		sep = ","
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
 	}
-	var cum uint64
-	for i, bound := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", fam, labels, sep, formatFloat(bound), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", fam, labels, sep, cum)
-	if labels == "" {
-		fmt.Fprintf(w, "%s_sum %s\n", fam, formatFloat(h.Sum()))
-		fmt.Fprintf(w, "%s_count %d\n", fam, h.Count())
-	} else {
-		fmt.Fprintf(w, "%s_sum{%s} %s\n", fam, labels, formatFloat(h.Sum()))
-		fmt.Fprintf(w, "%s_count{%s} %d\n", fam, labels, h.Count())
-	}
+	writeHistSeries(w, fam, labels, h.bounds, counts, h.Sum(), h.Count())
 }
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// OnScrape registers a hook appended to every exposition after the
+// registered families — the seam federation uses to render series whose
+// state lives outside the registry (e.g. per-worker samples cached on
+// the cluster coordinator).
+func (r *Registry) OnScrape(f func(io.Writer)) {
+	if f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
 // WritePrometheus renders every registered family, in registration
-// order, as Prometheus text exposition format 0.0.4.
+// order, as Prometheus text exposition format 0.0.4, then runs the
+// OnScrape hooks.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	families := make([]*metric, len(r.ordered))
 	copy(families, r.ordered)
+	hooks := make([]func(io.Writer), len(r.hooks))
+	copy(hooks, r.hooks)
 	r.mu.Unlock()
 	for _, m := range families {
 		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
 		m.write(w, m.name)
+	}
+	for _, f := range hooks {
+		f(w)
 	}
 }
 

@@ -10,11 +10,16 @@ import (
 	"time"
 )
 
-// SlowEntry is one journaled slow operation.
+// SlowEntry is one journaled slow operation. RunID names the fold run
+// (for "fold" entries) and TraceID the distributed trace the operation
+// belonged to, so a slow entry correlates with request logs and with
+// worker-side spans grafted under the same id.
 type SlowEntry struct {
 	Time     time.Time        `json:"time"`
 	Kind     string           `json:"kind"`   // e.g. "http", "fold"
 	Detail   string           `json:"detail"` // endpoint, run id, ...
+	RunID    string           `json:"run_id,omitempty"`
+	TraceID  string           `json:"trace_id,omitempty"`
 	Duration time.Duration    `json:"duration_ns"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Trace    *Node            `json:"trace,omitempty"`
@@ -72,15 +77,23 @@ func (l *SlowLog) Record(e SlowEntry) bool {
 }
 
 // Entries returns the journaled operations, newest first.
-func (l *SlowLog) Entries() []SlowEntry {
+func (l *SlowLog) Entries() []SlowEntry { return l.EntriesN(0) }
+
+// EntriesN returns up to n journaled operations, newest first; n <= 0
+// returns them all (the /v1/debug/slow ?n= bound).
+func (l *SlowLog) EntriesN(n int) []SlowEntry {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]SlowEntry, 0, len(l.entries))
+	limit := len(l.entries)
+	if n > 0 && n < limit {
+		limit = n
+	}
+	out := make([]SlowEntry, 0, limit)
 	// Walk backwards from the cursor: the newest entry is at next-1.
-	for i := 0; i < len(l.entries); i++ {
+	for i := 0; i < len(l.entries) && len(out) < limit; i++ {
 		idx := (l.next - 1 - i + 2*cap(l.entries)) % cap(l.entries)
 		if idx >= len(l.entries) {
 			continue

@@ -39,13 +39,26 @@ import (
 // safe for concurrent span creation and reporting from many goroutines.
 type Tracer struct {
 	nextID atomic.Uint64
+	id     string // trace id, propagated across process boundaries
 	root   *Span
 }
 
 // NewTracer starts a trace whose root span carries the given name (and,
-// typically, a run id). The root is already started.
+// typically, a run id). The root is already started and the trace gets a
+// fresh process-unique id (see NewTraceID).
 func NewTracer(name string) *Tracer {
-	t := &Tracer{}
+	return NewTracerID(name, "")
+}
+
+// NewTracerID starts a trace under an existing trace id — the worker
+// side of a propagated trace adopts the coordinator's id so log lines
+// and slow entries from both processes correlate. An empty id mints a
+// fresh one.
+func NewTracerID(name, id string) *Tracer {
+	if id == "" {
+		id = NewTraceID()
+	}
+	t := &Tracer{id: id}
 	t.root = &Span{tracer: t, id: t.nextID.Add(1), name: name, start: time.Now()}
 	return t
 }

@@ -1,0 +1,164 @@
+package obs
+
+// trace.go: distributed-trace plumbing. A trace that crosses a process
+// boundary (coordinator → partworker over net/rpc) travels as a trace id
+// on the request and a serialized Node subtree on the reply; Graft
+// splices the remote subtree back into the live local trace so one flame
+// spans every process that did work. Everything here is pay-as-you-go:
+// with no ambient span the caller never builds an id, never serializes,
+// never grafts.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Graft caps. Remote subtrees are bounded before splicing so a
+// pathological worker trace (thousands of per-candidate spans) cannot
+// bloat the coordinator's live trace: depth is measured from the grafted
+// root, and nodes beyond the budget are dropped breadth-last with a
+// graft.dropped counter left on the grafted root.
+const (
+	DefaultGraftDepth = 6
+	DefaultGraftNodes = 256
+)
+
+// traceSeq and traceHi make NewTraceID process-unique without a
+// cryptographic source: the high half is derived from the process start
+// time, the low half is a sequence number.
+var (
+	traceSeq atomic.Uint64
+	traceHi  = uint64(time.Now().UnixNano()) * 0x9e3779b97f4a7c15 // splitmix64-style scramble
+)
+
+// NewTraceID returns a process-unique 16-hex-digit trace id, cheap
+// enough to mint per HTTP request.
+func NewTraceID() string {
+	return fmt.Sprintf("%08x%08x", uint32(traceHi>>32), uint32(traceSeq.Add(1))*0x85ebca6b)
+}
+
+// ID returns the tracer's trace id ("" for tracers predating id
+// assignment, which only happens for zero-value misuse).
+func (t *Tracer) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// TraceID returns the id of the trace this span belongs to, or "" on a
+// nil span — the form RPC call sites use to stamp outgoing requests.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tracer.id
+}
+
+// EncodeNode serializes an exported span tree for the wire.
+func EncodeNode(n *Node) ([]byte, error) { return json.Marshal(n) }
+
+// DecodeNode parses a span tree serialized by EncodeNode.
+func DecodeNode(b []byte) (*Node, error) {
+	var n Node
+	if err := json.Unmarshal(b, &n); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace node: %w", err)
+	}
+	return &n, nil
+}
+
+// Graft splices a remote span subtree into the live trace as children of
+// s. anchor is the local time the remote work started (typically the
+// moment the RPC was issued): remote node offsets, which are relative to
+// the remote root's start, are rebased onto it, so the grafted spans sit
+// inside the local rpc window. Aggregated stage nodes keep their calls
+// and total_ns counters and therefore render under the same aggregation
+// rules as local hot stages. maxDepth/maxNodes bound the splice (<=0
+// selects the defaults); when nodes are dropped the grafted root carries
+// a graft.dropped counter with the count. Returns the number of spans
+// grafted; a nil s or n grafts nothing.
+func (s *Span) Graft(anchor time.Time, n *Node, maxDepth, maxNodes int) int {
+	if s == nil || n == nil {
+		return 0
+	}
+	if maxDepth <= 0 {
+		maxDepth = DefaultGraftDepth
+	}
+	if maxNodes <= 0 {
+		maxNodes = DefaultGraftNodes
+	}
+	budget := maxNodes
+	dropped := 0
+	root := graftNode(s, n, anchor, maxDepth, &budget, &dropped)
+	if root != nil && dropped > 0 {
+		root.Count("graft.dropped", int64(dropped))
+	}
+	return maxNodes - budget
+}
+
+// graftNode attaches n (and recursively its children) under parent,
+// consuming *budget; once the budget is spent or depth runs out the
+// remaining subtree is only counted into *dropped.
+func graftNode(parent *Span, n *Node, anchor time.Time, depth int, budget *int, dropped *int) *Span {
+	if depth <= 0 || *budget <= 0 {
+		*dropped += countNodes(n)
+		return nil
+	}
+	*budget--
+	c := &Span{
+		tracer: parent.tracer,
+		id:     parent.tracer.nextID.Add(1),
+		parent: parent.id,
+		name:   n.Name,
+		start:  anchor.Add(time.Duration(n.StartNS)),
+		calls:  n.Calls,
+	}
+	c.end = c.start.Add(time.Duration(n.DurNS))
+	if len(n.Counters) > 0 {
+		c.counters = make(map[string]int64, len(n.Counters))
+		for k, v := range n.Counters {
+			c.counters[k] = v
+		}
+	}
+	parent.mu.Lock()
+	parent.children = append(parent.children, c)
+	parent.mu.Unlock()
+	for _, child := range n.Children {
+		graftNode(c, child, anchor, depth-1, budget, dropped)
+	}
+	return c
+}
+
+func countNodes(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// ---- tracer context plumbing ----
+
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t, so a layer that needs the
+// whole trace (e.g. an HTTP handler inlining the tree on ?trace=1) can
+// reach it without threading the tracer explicitly.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

@@ -61,15 +61,20 @@ func patternToJSON(p *pattern.Pattern, withTIDs bool) patternJSON {
 //	GET  /v1/cluster           coordinator-mode fleet state: members with
 //	                           liveness, unit assignment, replica set,
 //	                           cluster counters (404 without a cluster)
-//	GET  /metrics              Prometheus text exposition (partserve_*)
+//	GET  /metrics              Prometheus text exposition (partserve_*,
+//	                           plus federated partserve_worker_* series
+//	                           in cluster mode)
 //	GET  /v1/debug/slow        slow-operation journal, newest first,
-//	                           with span trees
+//	                           with span trees; ?n= bounds the entries
 //
 // Every read handler answers from one snapshot load, so each response is
 // consistent with exactly one epoch even while updates fold in. Every
 // endpoint (the exposition endpoints aside) runs under the instrument
-// middleware: a per-request trace on the request context, the endpoint
-// latency histogram, and slow-request journaling.
+// middleware: a per-request trace on the request context (its id echoed
+// as X-Partserve-Trace), the endpoint latency histogram, and
+// slow-request journaling. ?trace=1 on /v1/contains and /v1/update
+// inlines the span tree — including spans grafted back from cluster
+// workers — in the response.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, func(w http.ResponseWriter, r *http.Request) {
@@ -88,13 +93,17 @@ func (s *Server) Handler() http.Handler {
 }
 
 // instrument wraps one endpoint with the request observability stack: a
-// per-request trace whose root span rides the request context, the
-// endpoint latency histogram, the query counter, and a slow-log entry
-// (with the trace tree) when the request crosses the slow threshold.
+// per-request trace whose root span rides the request context (the whole
+// tracer too, for handlers that inline the tree on ?trace=1), the trace
+// id echoed as X-Partserve-Trace, the endpoint latency histogram, the
+// query counter, and a slow-log entry (with the trace tree and trace id)
+// when the request crosses the slow threshold.
 func (s *Server) instrument(endpoint string, isQuery bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		tracer := obs.NewTracer("http." + endpoint)
-		r = r.WithContext(obs.WithSpan(r.Context(), tracer.Root()))
+		ctx := obs.WithTracer(obs.WithSpan(r.Context(), tracer.Root()), tracer)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Partserve-Trace", tracer.ID())
 		t0 := time.Now()
 		h(w, r)
 		tracer.Finish()
@@ -102,11 +111,28 @@ func (s *Server) instrument(endpoint string, isQuery bool, h http.HandlerFunc) h
 	}
 }
 
+// traceInline adds the request's trace id and (still-open) span tree to
+// a response document when the request asked for ?trace=1.
+func traceInline(r *http.Request, out map[string]any) {
+	if !boolParam(r.URL.Query().Get("trace")) {
+		return
+	}
+	if t := obs.TracerFrom(r.Context()); t != nil {
+		out["trace_id"] = t.ID()
+		out["trace"] = t.Tree()
+	}
+}
+
 func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	n, err := intParam(r.URL.Query().Get("n"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad n: %w", err))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"threshold_ns": s.slow.Threshold().Nanoseconds(),
 		"total":        s.slow.Total(),
-		"entries":      s.slow.Entries(),
+		"entries":      s.slow.EntriesN(n),
 	})
 }
 
@@ -191,12 +217,14 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 		if tids == nil {
 			tids = []int{}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		out := map[string]any{
 			"epoch":   snap.Epoch,
 			"support": len(tids),
 			"tids":    tids,
 			"stats":   containsStatsJSON(st),
-		})
+		}
+		traceInline(r, out)
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	all, sts := snap.ContainsBatch(gs)
@@ -212,11 +240,13 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 			"stats":   containsStatsJSON(sts[i]),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"epoch":   snap.Epoch,
 		"count":   len(results),
 		"results": results,
-	})
+	}
+	traceInline(r, out)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleCluster reports the coordinator's fleet state. 404 when the
@@ -289,12 +319,14 @@ func (s *Server) replicaContains(w http.ResponseWriter, r *http.Request, g *grap
 	if tids == nil {
 		tids = []int{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"epoch":   reply.Epoch,
 		"replica": true,
 		"support": reply.Support,
 		"tids":    tids,
-	})
+	}
+	traceInline(r, out)
+	writeJSON(w, http.StatusOK, out)
 	return true
 }
 
@@ -329,7 +361,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad update request: %w", err))
 		return
 	}
-	res, err := s.Apply(r.Context(), req.Ops)
+	apply := s.Apply
+	if boolParam(r.URL.Query().Get("trace")) {
+		apply = s.ApplyTraced
+	}
+	res, err := apply(r.Context(), req.Ops)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)

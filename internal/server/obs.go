@@ -26,12 +26,20 @@ package server
 //	                                          (merge.*, index.*, gaston.*,
 //	                                          cluster.*), dots mapped to
 //	                                          underscores
+//	partserve_worker_*{worker="id"}           federated worker series: every
+//	                                          partworker_* family from each
+//	                                          live worker's registry, renamed
+//	                                          and labeled by worker id
+//	                                          (cluster mode only)
 
 import (
+	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
 
+	"partminer/internal/cluster"
 	"partminer/internal/exec"
 	"partminer/internal/obs"
 )
@@ -109,6 +117,51 @@ func (m *serverMetrics) mapCounter(name string) *obs.Counter {
 	return c
 }
 
+// federateWorkers renders the cluster's cached per-worker registry
+// samples as partserve_worker_* exposition series labeled by worker id —
+// the OnScrape hook cluster-mode servers append to /metrics. Samples
+// arrive on heartbeats, so a scrape is at most one beat stale and never
+// fans out RPCs.
+func federateWorkers(w io.Writer, cl *cluster.Coordinator) {
+	ids, samples := cl.WorkerSamples()
+	if len(ids) == 0 {
+		return
+	}
+	// Families render grouped: HELP/TYPE once, then every worker's series.
+	type family struct{ name, help, typ string }
+	var order []family
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		for _, sm := range samples[id] {
+			if !seen[sm.Name] {
+				seen[sm.Name] = true
+				order = append(order, family{sm.Name, sm.Help, sm.Type})
+			}
+		}
+	}
+	for _, f := range order {
+		fed := federatedName(f.name)
+		fmt.Fprintf(w, "# HELP %s %s\n", fed, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", fed, f.typ)
+		for _, id := range ids {
+			for _, sm := range samples[id] {
+				if sm.Name == f.name {
+					obs.WriteSampleSeries(w, fed, fmt.Sprintf("worker=%q", id), sm)
+				}
+			}
+		}
+	}
+}
+
+// federatedName maps a worker family onto the coordinator's namespace:
+// partworker_unit_mine_seconds -> partserve_worker_unit_mine_seconds.
+func federatedName(name string) string {
+	if rest, ok := strings.CutPrefix(name, "partworker_"); ok {
+		return "partserve_worker_" + rest
+	}
+	return "partserve_worker_" + obs.SanitizeName(name)
+}
+
 // observeRequest journals and logs one completed request; called by the
 // endpoint middleware in http.go after the handler returns.
 func (s *Server) observeRequest(endpoint string, isQuery bool, d time.Duration, tracer *obs.Tracer) {
@@ -120,9 +173,10 @@ func (s *Server) observeRequest(endpoint string, isQuery bool, d time.Duration, 
 		s.slow.Record(obs.SlowEntry{
 			Kind:     "http",
 			Detail:   endpoint,
+			TraceID:  tracer.ID(),
 			Duration: d,
 			Trace:    tracer.Tree(),
 		})
-		s.logger.Warn("slow request", "endpoint", endpoint, "duration", d)
+		s.logger.Warn("slow request", "endpoint", endpoint, "duration", d, "trace_id", tracer.ID())
 	}
 }

@@ -82,6 +82,15 @@ type ApplyResult struct {
 	// Latency is the fold duration: staging, mining, index patch, and
 	// snapshot construction (JSON: nanoseconds).
 	Latency time.Duration `json:"latency_ns"`
+	// RunID names the fold run that incorporated the ops ("fold-<seq>"),
+	// matching the server's log lines and slow-journal entries.
+	RunID string `json:"run_id,omitempty"`
+	// TraceID is the fold trace's distributed trace id.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the fold's span tree — including spans grafted back from
+	// cluster workers — returned only to traced applies (ApplyTraced, or
+	// /v1/update?trace=1).
+	Trace *obs.Node `json:"trace,omitempty"`
 }
 
 // Config configures Start.
@@ -195,8 +204,11 @@ type batchStats struct {
 }
 
 type applyReq struct {
-	ops  []Op
-	done chan applyResp
+	ops []Op
+	// traced asks the fold to attach its span tree to this request's
+	// ApplyResult.
+	traced bool
+	done   chan applyResp
 }
 
 type applyResp struct {
@@ -304,6 +316,10 @@ func newServer(cfg Config) *Server {
 			"Workers currently passing heartbeats.", func() float64 {
 				return float64(cl.AliveMembers())
 			})
+		// Federate worker registries: every heartbeat-delivered
+		// partworker_* sample re-renders on /metrics as
+		// partserve_worker_*{worker="id"}.
+		s.metrics.registry.OnScrape(func(w io.Writer) { federateWorkers(w, cl) })
 	}
 	return s
 }
@@ -410,10 +426,21 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 // independent Apply calls queued concurrently may be folded — and thus
 // mined — together in one batch.
 func (s *Server) Apply(ctx context.Context, ops []Op) (ApplyResult, error) {
+	return s.apply(ctx, ops, false)
+}
+
+// ApplyTraced is Apply with the fold's span tree (including spans
+// grafted from cluster workers) attached to the result — the engine
+// behind /v1/update?trace=1.
+func (s *Server) ApplyTraced(ctx context.Context, ops []Op) (ApplyResult, error) {
+	return s.apply(ctx, ops, true)
+}
+
+func (s *Server) apply(ctx context.Context, ops []Op, traced bool) (ApplyResult, error) {
 	if len(ops) == 0 {
 		return ApplyResult{Epoch: s.Snapshot().Epoch}, nil
 	}
-	req := &applyReq{ops: ops, done: make(chan applyResp, 1)}
+	req := &applyReq{ops: ops, traced: traced, done: make(chan applyResp, 1)}
 	select {
 	case s.reqs <- req:
 	case <-s.stop:
@@ -553,15 +580,26 @@ func (s *Server) fold(batch []*applyReq) {
 	s.snap.Store(next)
 
 	tracer.Finish()
+	// The tree is built once and shared: the slow journal and every traced
+	// request in the batch see the same immutable snapshot of the trace.
+	var tree *obs.Node
+	treeOf := func() *obs.Node {
+		if tree == nil {
+			tree = tracer.Tree()
+		}
+		return tree
+	}
 	s.metrics.foldLatency.ObserveDuration(latency)
 	s.logger.Info("fold published", "run_id", runID, "epoch", next.Epoch,
-		"ops", batched, "full_remine", fullRemine, "duration", latency)
+		"ops", batched, "full_remine", fullRemine, "trace_id", tracer.ID(), "duration", latency)
 	if s.slow.Record(obs.SlowEntry{
 		Kind:     "fold",
 		Detail:   runID,
+		RunID:    runID,
+		TraceID:  tracer.ID(),
 		Duration: latency,
 		Counters: map[string]int64{"ops": int64(batched), "epoch": int64(next.Epoch)},
-		Trace:    tracer.Tree(),
+		Trace:    treeOf(),
 	}) {
 		s.logger.Warn("slow fold", "run_id", runID, "duration", latency)
 	}
@@ -583,14 +621,20 @@ func (s *Server) fold(batch []*applyReq) {
 	s.mu.Unlock()
 
 	for _, req := range accepted {
-		req.done <- applyResp{res: ApplyResult{
+		res := ApplyResult{
 			Epoch:        next.Epoch,
 			Ops:          len(req.ops),
 			Batched:      batched,
 			FullRemine:   fullRemine,
 			ReminedUnits: remined,
 			Latency:      latency,
-		}}
+			RunID:        runID,
+			TraceID:      tracer.ID(),
+		}
+		if req.traced {
+			res.Trace = treeOf()
+		}
+		req.done <- applyResp{res: res}
 	}
 
 	// Replicate after answering: callers see their epoch as soon as it is
@@ -803,11 +847,11 @@ func (s *Server) accumulateDecompLocked(counters map[string]int64) {
 
 // Stats is the service-level statistics document (/v1/stats).
 type Stats struct {
-	Epoch         uint64 `json:"epoch"`
-	Graphs        int    `json:"graphs"`
-	Edges         int    `json:"edges"`
-	Patterns      int    `json:"patterns"`
-	SearchFeats   int    `json:"search_features"`
+	Epoch       uint64 `json:"epoch"`
+	Graphs      int    `json:"graphs"`
+	Edges       int    `json:"edges"`
+	Patterns    int    `json:"patterns"`
+	SearchFeats int    `json:"search_features"`
 	// PlansCompiled is the number of compiled pattern plans in the served
 	// snapshot's search index; the counters below are server-lifetime
 	// totals from the observer seam.

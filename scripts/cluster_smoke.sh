@@ -72,11 +72,13 @@ done
 [ -s "$WORK/caddr" ] || die "coordinator never wrote its RPC address"
 CADDR="$(cat "$WORK/caddr")"
 
-say "joining 3 workers to $CADDR"
+say "joining 3 workers to $CADDR (each with a metrics listener)"
 i=1
 for id in smoke-w1 smoke-w2 smoke-w3; do
     "$WORK/partworker" -listen 127.0.0.1:0 -join "$CADDR" -id "$id" \
-        -heartbeat 100ms 2>"$WORK/w$i.log" &
+        -heartbeat 100ms \
+        -metrics-addr 127.0.0.1:0 -metrics-portfile "$WORK/wmet$i" \
+        2>"$WORK/w$i.log" &
     eval "W${i}_PID=$!"
     i=$((i + 1))
 done
@@ -109,6 +111,36 @@ curl -sSf "$URL/v1/cluster" >"$WORK/cluster.json"
 grep -q '"unit-0"' "$WORK/cluster.json" || die "no unit assignment: $(cat "$WORK/cluster.json")"
 [ "$(jget "$WORK/cluster.json" local_mines)" = "0" ] || die "units were mined locally despite a healthy fleet: $(cat "$WORK/cluster.json")"
 
+say "worker /metrics, /healthz, and pprof listener"
+[ -s "$WORK/wmet1" ] || die "worker 1 never wrote its metrics port file"
+WMET="http://$(cat "$WORK/wmet1")"
+curl -sSf "$WMET/metrics" >"$WORK/wmetrics.txt" || die "worker metrics scrape failed"
+for family in \
+    partworker_units_mined_total \
+    partworker_unit_mine_seconds \
+    partworker_uptime_seconds \
+    partworker_snapshot_epoch; do
+    grep -q "$family" "$WORK/wmetrics.txt" || die "worker metrics missing $family"
+done
+curl -sSf "$WMET/healthz" | grep -q '"ok"' || die "worker healthz failed"
+curl -sSf "$WMET/debug/pprof/" | grep -qi profile || die "worker pprof index failed"
+
+say "coordinator /metrics federates partserve_worker_* series"
+fed=""
+for _ in $(seq 1 50); do
+    curl -sSf "$URL/metrics" >"$WORK/fed.txt"
+    if grep -q '^partserve_worker_units_mined_total{worker="smoke-w' "$WORK/fed.txt"; then
+        fed=yes
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$fed" ] || die "coordinator never federated worker series: $(grep partserve_worker "$WORK/fed.txt" || true)"
+grep -q '^# TYPE partserve_worker_unit_mine_seconds histogram' "$WORK/fed.txt" \
+    || die "federated families lack HELP/TYPE lines"
+grep -q '^partserve_worker_unit_mine_seconds_bucket{worker="smoke-w' "$WORK/fed.txt" \
+    || die "federated histogram series missing"
+
 say "cluster mine agrees with single node"
 curl -sSf "$URL/v1/patterns?k=0" >"$WORK/pat_cluster.json"
 curl -sSf "$SOLO_URL/v1/patterns?k=0" >"$WORK/pat_solo.json"
@@ -139,11 +171,16 @@ smoke-w3) kill -9 "$W3_PID"; W3_PID="" ;;
 esac
 say "killed $victim"
 
-say "fold add_graph through the degraded fleet (full re-mine)"
+say "fold add_graph through the degraded fleet (full re-mine, traced)"
 update='{"ops":[{"op":"add_graph","graph":"t # 0\nv 0 0\nv 1 1\ne 0 1 0\n"}]}'
-curl -sSf -X POST -d "$update" "$URL/v1/update" >"$WORK/update.json"
+curl -sSf -X POST -d "$update" "$URL/v1/update?trace=1" >"$WORK/update.json"
 [ "$(jget "$WORK/update.json" epoch)" = "2" ] || die "cluster update did not publish epoch 2: $(cat "$WORK/update.json")"
 [ "$(jget "$WORK/update.json" full_remine)" = "true" ] || die "add_graph did not force a full re-mine: $(cat "$WORK/update.json")"
+grep -q '"trace_id"' "$WORK/update.json" || die "traced update lacks trace_id: $(cat "$WORK/update.json")"
+grep -q '"name": *"worker.smoke-w' "$WORK/update.json" \
+    || die "traced cluster fold lacks grafted worker spans"
+grep -q '"name": *"mine.unit-' "$WORK/update.json" \
+    || die "traced cluster fold lacks worker-side per-unit spans"
 curl -sSf -X POST -d "$update" "$SOLO_URL/v1/update" >"$WORK/update_solo.json"
 
 say "post-kill pattern set still agrees with single node"

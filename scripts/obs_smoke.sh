@@ -74,10 +74,29 @@ grep -q '^# TYPE partserve_http_request_seconds histogram' "$WORK/metrics.txt" \
 [ "$(grep -c 'le="+Inf"' "$WORK/metrics.txt")" -ge 2 ] \
     || die "histograms lack +Inf buckets"
 
+say "X-Partserve-Trace response header"
+curl -sSf -D "$WORK/headers.txt" "$URL/v1/stats" >/dev/null || die "stats request failed"
+TRACE_ID="$(sed -n 's/^X-Partserve-Trace: *\([0-9a-f]*\).*/\1/pi' "$WORK/headers.txt" | head -n 1)"
+[ "${#TRACE_ID}" = "16" ] || die "X-Partserve-Trace header missing or malformed: $(cat "$WORK/headers.txt")"
+
+say "POST /v1/contains?trace=1 (inline span tree)"
+printf 't # 0\nv 0 0\nv 1 1\ne 0 1 0\n' >"$WORK/query.txt"
+curl -sSf -X POST --data-binary @"$WORK/query.txt" \
+    "$URL/v1/contains?trace=1" >"$WORK/traced.json" || die "traced contains failed"
+grep -q '"trace_id"' "$WORK/traced.json" || die "traced contains lacks trace_id: $(cat "$WORK/traced.json")"
+grep -q '"name": *"http.contains"' "$WORK/traced.json" || die "traced contains lacks the span tree: $(cat "$WORK/traced.json")"
+curl -sSf -X POST --data-binary @"$WORK/query.txt" "$URL/v1/contains" >"$WORK/untraced.json"
+grep -q '"trace"' "$WORK/untraced.json" && die "untraced contains shipped a span tree"
+
 say "GET /v1/debug/slow"
 curl -sSf "$URL/v1/debug/slow" >"$WORK/slow.json" || die "slow journal scrape failed"
 grep -q '"threshold_ns"' "$WORK/slow.json" || die "slow journal malformed: $(cat "$WORK/slow.json")"
 grep -q '"kind"' "$WORK/slow.json" || die "1µs threshold journaled nothing: $(cat "$WORK/slow.json")"
+grep -q '"trace_id"' "$WORK/slow.json" || die "slow entries lack trace ids: $(cat "$WORK/slow.json")"
+
+say "GET /v1/debug/slow?n=1 (bounded)"
+curl -sSf "$URL/v1/debug/slow?n=1" >"$WORK/slow1.json" || die "bounded slow scrape failed"
+[ "$(grep -c '"kind"' "$WORK/slow1.json")" = "1" ] || die "?n=1 returned more than one entry: $(cat "$WORK/slow1.json")"
 
 say "GET pprof index"
 DEBUG_ADDR="$(sed -n 's/.*msg="pprof listening".* addr=\([0-9.:]*\).*/\1/p' "$WORK/server.log" | head -n 1)"
